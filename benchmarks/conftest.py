@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation: it runs the corresponding experiment from
+:mod:`repro.experiments`, prints the same rows/series the paper reports,
+and asserts the qualitative relationships ("shape") the paper draws from
+that figure.  Absolute numbers differ from the paper (the substrate is a
+Python timing model on synthetic traces, not ChampSim on SPEC traces);
+see EXPERIMENTS.md for the side-by-side comparison.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSetup
+
+
+@pytest.fixture(scope="session")
+def default_setup() -> ExperimentSetup:
+    """Standard sizing: two workloads per category, 6000 memory ops each."""
+    return ExperimentSetup(num_accesses=6000, per_category=2)
+
+
+@pytest.fixture(scope="session")
+def small_setup() -> ExperimentSetup:
+    """Reduced sizing for the heavier sweeps (many configurations)."""
+    return ExperimentSetup(num_accesses=4000, per_category=1)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

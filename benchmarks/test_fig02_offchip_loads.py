@@ -1,0 +1,19 @@
+"""Fig. 2: off-chip loads (blocking vs non-blocking) without/with Pythia."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig02_offchip_loads
+
+
+def test_fig02_offchip_loads(benchmark, default_setup):
+    table = run_once(benchmark, run_fig02_offchip_loads, default_setup)
+    print()
+    print(format_table("Fig. 2 - off-chip loads normalised to no-prefetching", table))
+    avg = table["AVG"]
+    # Pythia removes a sizeable fraction of the off-chip loads...
+    assert (avg["pythia_blocking"] + avg["pythia_nonblocking"]) < 1.0
+    assert avg["pythia_mpki"] < avg["noprefetch_mpki"]
+    # ...but a meaningful residue remains, and most of it blocks the ROB.
+    assert (avg["pythia_blocking"] + avg["pythia_nonblocking"]) > 0.1
+    assert avg["pythia_blocking"] >= avg["pythia_nonblocking"]

@@ -1,0 +1,18 @@
+"""Fig. 5: off-chip load fraction and LLC MPKI in the Pythia baseline."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig05_offchip_rate
+
+
+def test_fig05_offchip_rate(benchmark, default_setup):
+    table = run_once(benchmark, run_fig05_offchip_rate, default_setup)
+    print()
+    print(format_table("Fig. 5 - off-chip rate and LLC MPKI (Pythia baseline)", table))
+    avg = table["AVG"]
+    # Off-chip loads are a minority of all loads (the paper reports ~5%),
+    # which is what makes the prediction problem hard.
+    assert 0.0 < avg["offchip_load_fraction"] < 0.5
+    # The workloads are memory intensive (paper's selection threshold: >= 3 MPKI).
+    assert avg["llc_mpki"] >= 3.0

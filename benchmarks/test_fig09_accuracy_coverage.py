@@ -1,0 +1,20 @@
+"""Fig. 9: accuracy and coverage of POPET vs HMP vs TTP."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig09_accuracy_coverage
+
+
+def test_fig09_accuracy_coverage(benchmark, default_setup):
+    table = run_once(benchmark, run_fig09_accuracy_coverage, default_setup)
+    print()
+    for predictor, rows in table.items():
+        print(format_table(f"Fig. 9 - {predictor} accuracy/coverage", rows))
+        print()
+    popet, hmp, ttp = table["popet"]["AVG"], table["hmp"]["AVG"], table["ttp"]["AVG"]
+    # Paper: POPET 77%/74%, HMP 47%/22%, TTP 17%/95%.
+    assert popet["accuracy"] > hmp["accuracy"]
+    assert popet["accuracy"] > ttp["accuracy"]
+    assert popet["coverage"] > hmp["coverage"]
+    assert ttp["coverage"] >= popet["coverage"] - 0.05

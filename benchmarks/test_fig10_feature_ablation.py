@@ -1,0 +1,20 @@
+"""Fig. 10: POPET accuracy/coverage per feature and for stacked combinations."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig10_feature_ablation
+
+
+def test_fig10_feature_ablation(benchmark, small_setup):
+    table = run_once(benchmark, run_fig10_feature_ablation, small_setup)
+    print()
+    print(format_table("Fig. 10 - POPET feature ablation", table))
+    full = table["All (POPET)"]
+    singles = [row for label, row in table.items()
+               if "combined" not in label and label != "All (POPET)"]
+    # Stacking all features must not lose coverage relative to the median
+    # single feature, and the full design must be competitive on accuracy.
+    best_single_coverage = max(row["coverage"] for row in singles)
+    assert full["coverage"] >= 0.8 * best_single_coverage
+    assert full["accuracy"] >= 0.7 * max(row["accuracy"] for row in singles)

@@ -1,0 +1,20 @@
+"""Fig. 12: single-core speedup of Hermes, Pythia and Pythia+Hermes."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig12_singlecore_speedup
+
+
+def test_fig12_singlecore_speedup(benchmark, default_setup):
+    table = run_once(benchmark, run_fig12_singlecore_speedup, default_setup)
+    print()
+    print(format_table("Fig. 12 - speedup over the no-prefetching system", table))
+    geomeans = {label: rows["GEOMEAN"] for label, rows in table.items()}
+    # Hermes alone improves over no-prefetching (paper: +11.5% for Hermes-O).
+    assert geomeans["hermes-O"] > 1.0
+    # Hermes-O is at least as good as the pessimistic variant.
+    assert geomeans["hermes-O"] >= geomeans["hermes-P"] - 0.01
+    # Pythia+Hermes outperforms Pythia alone (paper: +5.4%).
+    assert geomeans["pythia+hermes-O"] > geomeans["pythia"]
+    assert geomeans["pythia+hermes-P"] > geomeans["pythia"] * 0.99

@@ -1,0 +1,18 @@
+"""Fig. 13: per-workload speedup line graph (Hermes, Pythia, Pythia+Hermes)."""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.experiments import run_fig13_per_workload_speedup
+
+
+def test_fig13_per_workload_speedup(benchmark, default_setup):
+    table = run_once(benchmark, run_fig13_per_workload_speedup, default_setup)
+    print()
+    print(format_table("Fig. 13 - per-workload speedup over no-prefetching", table))
+    # Pythia+Hermes tracks or beats Pythia on the vast majority of workloads.
+    wins = sum(1 for row in table.values()
+               if row["pythia+hermes-O"] >= row["pythia"] * 0.97)
+    assert wins >= 0.7 * len(table)
+    # Hermes alone should never collapse a workload (paper: speedup >= 1 everywhere).
+    assert geomean([row["hermes-O"] for row in table.values()]) > 0.98

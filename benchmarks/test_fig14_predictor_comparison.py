@@ -1,0 +1,18 @@
+"""Fig. 14: Hermes speedup with HMP, TTP, POPET and the Ideal predictor."""
+
+from conftest import run_once
+
+from repro.analysis import format_series
+from repro.experiments import run_fig14_predictor_comparison
+
+
+def test_fig14_predictor_comparison(benchmark, default_setup):
+    table = run_once(benchmark, run_fig14_predictor_comparison, default_setup)
+    print()
+    print(format_series("Fig. 14 - speedup over no-prefetching (with Pythia)", table))
+    # POPET-based Hermes beats the HMP- and TTP-based variants and is upper
+    # bounded by the Ideal predictor (paper: 0.8% / 1.7% / 5.4% / ~6% on Pythia).
+    assert table["pythia+hermes-popet"] > table["pythia+hermes-hmp"]
+    assert table["pythia+hermes-popet"] > table["pythia+hermes-ttp"]
+    assert table["pythia+hermes-ideal"] >= table["pythia+hermes-popet"] * 0.99
+    assert table["pythia+hermes-popet"] > table["pythia"]

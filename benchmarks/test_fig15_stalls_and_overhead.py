@@ -1,0 +1,22 @@
+"""Fig. 15: stall-cycle reduction (a) and main-memory request overhead (b)."""
+
+from conftest import run_once
+
+from repro.analysis import format_series
+from repro.experiments import run_fig15_stalls_and_overhead
+
+
+def test_fig15_stalls_and_overhead(benchmark, default_setup):
+    table = run_once(benchmark, run_fig15_stalls_and_overhead, default_setup)
+    print()
+    print(format_series("Fig. 15 - stall reduction and memory-request overhead (%)",
+                        table))
+    # Hermes reduces off-chip stall cycles relative to Pythia alone.
+    assert table["stall_reduction_pct_vs_pythia"] > 0
+    # Hermes's request overhead stays modest (paper: +5.5% over no-prefetching).
+    # Note: our Pythia substitute is more conservative than the original, so
+    # its own overhead is lower than the paper's +38.5% (see EXPERIMENTS.md).
+    assert table["memory_overhead_pct_hermes"] < 30
+    # Adding Hermes on top of Pythia only modestly increases requests further.
+    assert table["memory_overhead_pct_pythia_hermes"] < \
+        table["memory_overhead_pct_pythia"] + 40

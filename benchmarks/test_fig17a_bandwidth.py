@@ -1,0 +1,22 @@
+"""Fig. 17(a): sensitivity to main-memory bandwidth (MTPS sweep)."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig17a_bandwidth_sensitivity
+
+
+def test_fig17a_bandwidth_sensitivity(benchmark, small_setup):
+    table = run_once(benchmark, run_fig17a_bandwidth_sensitivity, small_setup,
+                     mtps_values=(800, 3200, 6400))
+    print()
+    print(format_table("Fig. 17a - speedup vs main-memory bandwidth (MTPS)",
+                       {str(k): v for k, v in table.items()}))
+    for mtps, row in table.items():
+        # Pythia+Hermes tracks or beats Pythia at every bandwidth point
+        # (small per-point tolerance: one workload per category is noisy).
+        assert row["pythia+hermes"] >= row["pythia"] * 0.95
+    # At the lowest bandwidth Hermes alone is competitive with Pythia
+    # (paper: Hermes outperforms Pythia at 200-400 MTPS).
+    lowest = min(table)
+    assert table[lowest]["hermes"] >= table[lowest]["pythia"] * 0.9

@@ -1,0 +1,17 @@
+"""Fig. 17(b): Hermes combined with Bingo, SPP, MLOP and SMS."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig17b_prefetcher_sensitivity
+
+
+def test_fig17b_prefetcher_sensitivity(benchmark, small_setup):
+    table = run_once(benchmark, run_fig17b_prefetcher_sensitivity, small_setup,
+                     prefetchers=("pythia", "bingo", "spp", "mlop", "sms"))
+    print()
+    print(format_table("Fig. 17b - Hermes on top of different prefetchers", table))
+    for prefetcher, row in table.items():
+        # Hermes-O on top of any prefetcher tracks or beats the prefetcher alone
+        # (paper: +5.1% .. +7.7% across Bingo/SPP/MLOP/SMS).
+        assert row["prefetcher+hermes-O"] >= row["prefetcher_only"] * 0.97, prefetcher

@@ -1,0 +1,18 @@
+"""Fig. 17(c): sensitivity to the Hermes request issue latency."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig17c_issue_latency_sensitivity
+
+
+def test_fig17c_issue_latency(benchmark, small_setup):
+    table = run_once(benchmark, run_fig17c_issue_latency_sensitivity, small_setup,
+                     latencies=(0, 6, 18, 24))
+    print()
+    print(format_table("Fig. 17c - speedup vs Hermes request issue latency",
+                       {str(k): v for k, v in table.items()}))
+    # Benefit shrinks with issue latency but remains: even at 24 cycles
+    # Pythia+Hermes stays at or above Pythia alone (paper: +3.6%).
+    assert table[0]["pythia+hermes"] >= table[24]["pythia+hermes"] - 0.03
+    assert table[24]["pythia+hermes"] >= table[24]["pythia"] * 0.97

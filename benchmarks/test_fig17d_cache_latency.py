@@ -1,0 +1,20 @@
+"""Fig. 17(d): sensitivity to the on-chip cache hierarchy access latency."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig17d_cache_latency_sensitivity
+
+
+def test_fig17d_cache_latency(benchmark, small_setup):
+    table = run_once(benchmark, run_fig17d_cache_latency_sensitivity, small_setup,
+                     llc_latencies=(40, 55, 65))
+    print()
+    print(format_table("Fig. 17d - speedup vs LLC access latency",
+                       {str(k): v for k, v in table.items()}))
+    for latency, row in table.items():
+        assert row["pythia+hermes"] >= row["pythia"] * 0.97
+    # Hermes's advantage over Pythia grows as the hierarchy gets slower.
+    gain_40 = table[40]["pythia+hermes"] - table[40]["pythia"]
+    gain_65 = table[65]["pythia+hermes"] - table[65]["pythia"]
+    assert gain_65 >= gain_40 - 0.03

@@ -1,0 +1,19 @@
+"""Fig. 17 (activation threshold): POPET accuracy/coverage/speedup vs threshold."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig17e_activation_threshold
+
+
+def test_fig17e_activation_threshold(benchmark, small_setup):
+    table = run_once(benchmark, run_fig17e_activation_threshold, small_setup,
+                     thresholds=(-30, -18, -2))
+    print()
+    print(format_table("Fig. 17 (threshold) - accuracy/coverage/speedup vs tau_act",
+                       {str(k): v for k, v in table.items()}))
+    # Raising the threshold trades coverage for accuracy (paper's key trend).
+    assert table[-2]["coverage"] <= table[-30]["coverage"] + 0.02
+    assert table[-2]["accuracy"] >= table[-30]["accuracy"] - 0.02
+    for row in table.values():
+        assert row["speedup"] > 0.9

@@ -1,0 +1,17 @@
+"""Fig. 19: performance sensitivity to the reorder-buffer size."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig19_rob_size_sensitivity
+
+
+def test_fig19_rob_size(benchmark, small_setup):
+    table = run_once(benchmark, run_fig19_rob_size_sensitivity, small_setup,
+                     rob_sizes=(256, 512, 1024))
+    print()
+    print(format_table("Fig. 19 - speedup vs ROB size",
+                       {str(k): v for k, v in table.items()}))
+    for rob, row in table.items():
+        # Pythia+Hermes tracks or beats Pythia at every ROB size.
+        assert row["pythia+hermes"] >= row["pythia"] * 0.97, rob

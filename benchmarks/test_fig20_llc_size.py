@@ -1,0 +1,20 @@
+"""Fig. 20: performance sensitivity to the per-core LLC size."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig20_llc_size_sensitivity
+
+
+def test_fig20_llc_size(benchmark, small_setup):
+    table = run_once(benchmark, run_fig20_llc_size_sensitivity, small_setup,
+                     llc_sizes_mb=(3, 6, 12))
+    print()
+    print(format_table("Fig. 20 - speedup vs per-core LLC size (MB)",
+                       {str(k): v for k, v in table.items()}))
+    for size_mb, row in table.items():
+        assert row["pythia+hermes"] >= row["pythia"] * 0.97, size_mb
+    # Hermes's benefit shrinks as the LLC grows (fewer off-chip loads remain).
+    gain_small = table[3]["pythia+hermes"] - table[3]["pythia"]
+    gain_large = table[12]["pythia+hermes"] - table[12]["pythia"]
+    assert gain_large <= gain_small + 0.05

@@ -1,0 +1,22 @@
+"""Fig. 21: POPET accuracy/coverage with different baseline prefetchers."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig21_accuracy_by_prefetcher
+
+
+def test_fig21_accuracy_by_prefetcher(benchmark, small_setup):
+    table = run_once(benchmark, run_fig21_accuracy_by_prefetcher, small_setup,
+                     prefetchers=("pythia", "spp", "mlop", "none"))
+    print()
+    print(format_table("Fig. 21 - POPET accuracy/coverage by baseline prefetcher",
+                       table))
+    # Without a prefetcher interfering, POPET's coverage is at its highest
+    # (paper: 88.9% accuracy / 93.6% coverage with no prefetcher).
+    alone = table["hermes alone"]
+    assert alone["coverage"] >= max(row["coverage"] for label, row in table.items()
+                                    if label != "hermes alone") - 0.05
+    for row in table.values():
+        assert 0.0 <= row["accuracy"] <= 1.0
+        assert 0.0 <= row["coverage"] <= 1.0

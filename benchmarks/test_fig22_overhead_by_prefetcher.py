@@ -1,0 +1,19 @@
+"""Fig. 22: main-memory request overhead with different prefetchers ± Hermes."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_fig22_overhead_by_prefetcher
+
+
+def test_fig22_overhead_by_prefetcher(benchmark, small_setup):
+    table = run_once(benchmark, run_fig22_overhead_by_prefetcher, small_setup,
+                     prefetchers=("pythia", "spp", "sms"))
+    print()
+    print(format_table("Fig. 22 - main-memory request overhead (%) by prefetcher",
+                       table))
+    for prefetcher, row in table.items():
+        # Adding Hermes increases requests only modestly over the prefetcher
+        # alone (paper: +5.8% .. +15.6%).
+        extra = row["prefetcher_plus_hermes_pct"] - row["prefetcher_pct"]
+        assert extra < 60, prefetcher

@@ -1,0 +1,15 @@
+"""Table 3: Hermes storage overhead breakdown (4 KB per core)."""
+
+from conftest import run_once
+
+from repro.analysis import format_series
+from repro.experiments import run_table3_storage
+
+
+def test_table3_storage(benchmark):
+    table = run_once(benchmark, run_table3_storage)
+    print()
+    print(format_series("Table 3 - Hermes storage overhead (KB)", table))
+    assert abs(table["total_kb"] - 4.0) < 0.25
+    assert abs(table["page_buffer_kb"] - 0.625) < 0.01
+    assert abs(table["lq_metadata_kb"] - 0.8) < 0.1

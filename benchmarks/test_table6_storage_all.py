@@ -1,0 +1,20 @@
+"""Table 6: storage overhead of every evaluated mechanism."""
+
+from conftest import run_once
+
+from repro.analysis import format_series
+from repro.experiments import run_table6_storage
+
+
+def test_table6_storage_all(benchmark):
+    table = run_once(benchmark, run_table6_storage)
+    print()
+    print(format_series("Table 6 - storage overhead of all mechanisms (KB)", table))
+    # Paper Table 6: Hermes 4 KB << MLOP 8 < SMS 20 < Pythia 25.5 < SPP 39.3
+    # < Bingo 46 << TTP 1536.
+    hermes = table["Hermes (POPET)"]
+    assert hermes < 5.0
+    for other in ("pythia", "bingo", "spp", "mlop", "sms", "TTP"):
+        assert hermes < table[other]
+    assert table["TTP"] == max(table.values())
+    assert abs(table["pythia"] - 25.5) < 0.1

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Case study: why Hermes helps graph analytics (Ligra-like) workloads.
+
+The paper motivates Hermes with workloads whose off-chip loads cannot be
+prefetched — graph traversals are the canonical example.  This example
+dissects one Ligra-like trace:
+
+1. shows how many loads go off-chip and how many of them block the ROB,
+2. shows how much of each off-chip load's stall is spent in the on-chip
+   hierarchy (the latency Hermes removes),
+3. runs Hermes with three predictors (HMP, TTP, POPET) plus the Ideal
+   oracle, and reports accuracy, coverage, extra DRAM traffic and speedup.
+
+Usage::
+
+    python examples/graph_analytics_study.py [num_accesses]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SystemConfig, make_trace, simulate_trace
+
+
+def main() -> None:
+    num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
+    trace = make_trace("ligra.bfs", num_accesses=num_accesses)
+
+    pythia = simulate_trace(SystemConfig.baseline("pythia"), trace)
+    print(f"Workload {trace.name}: {pythia.core.loads} loads, "
+          f"{pythia.core.offchip_loads} off-chip "
+          f"({pythia.offchip_load_fraction:.1%} of loads), "
+          f"LLC MPKI {pythia.llc_mpki:.1f} with Pythia prefetching")
+    blocking = pythia.core.blocking_offchip_loads
+    if blocking:
+        print(f"Blocking off-chip loads: {blocking} "
+              f"(avg stall {pythia.core.average_offchip_stall:.0f} cycles; "
+              f"{pythia.core.stall_cycles_offchip_onchip_portion / max(1, pythia.core.stall_cycles_offchip):.0%} "
+              f"of stall cycles spent in the on-chip hierarchy)")
+    print()
+
+    header = (f"{'predictor':<10}{'speedup vs pythia':>19}{'accuracy':>10}"
+              f"{'coverage':>10}{'extra DRAM reqs':>17}")
+    print(header)
+    print("-" * len(header))
+    for predictor in ("hmp", "ttp", "popet", "ideal"):
+        config = SystemConfig.with_hermes(predictor, prefetcher="pythia")
+        result = simulate_trace(config, trace)
+        extra = result.main_memory_requests - pythia.main_memory_requests
+        print(f"{predictor:<10}{result.ipc / pythia.ipc:>19.3f}"
+              f"{result.predictor_accuracy:>10.1%}{result.predictor_coverage:>10.1%}"
+              f"{extra:>+17d}")
+
+    print()
+    print("Expected shape (paper Figs. 9 and 14): POPET approaches the Ideal "
+          "oracle's speedup with far less extra DRAM traffic than TTP, while "
+          "HMP's low coverage leaves most of the opportunity untouched.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload with and without Hermes.
+
+Builds the paper's baseline system (Alder Lake-like core, Pythia LLC
+prefetcher), runs a Ligra-like graph trace through it, then enables
+Hermes with the POPET off-chip predictor and compares IPC, off-chip load
+latency exposure and predictor quality.
+
+Usage::
+
+    python examples/quickstart.py [num_accesses]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SystemConfig, make_trace, simulate_trace
+
+
+def main() -> None:
+    num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
+    trace = make_trace("ligra.pagerank", num_accesses=num_accesses)
+    print(f"Workload: {trace.name} ({trace.category}), "
+          f"{trace.instruction_count} instructions, "
+          f"{trace.load_count} loads, footprint "
+          f"{trace.footprint_bytes() / (1 << 20):.1f} MB")
+    print()
+
+    configs = {
+        "no-prefetching": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
+        "pythia + Hermes-O (POPET)": SystemConfig.with_hermes("popet",
+                                                              prefetcher="pythia"),
+    }
+
+    results = {}
+    for label, config in configs.items():
+        results[label] = simulate_trace(config, trace)
+
+    baseline = results["no-prefetching"]
+    header = f"{'configuration':<28}{'IPC':>8}{'speedup':>10}{'off-chip':>10}{'MPKI':>8}"
+    print(header)
+    print("-" * len(header))
+    for label, result in results.items():
+        print(f"{label:<28}{result.ipc:>8.3f}"
+              f"{result.ipc / baseline.ipc:>10.3f}"
+              f"{result.core.offchip_loads:>10d}"
+              f"{result.llc_mpki:>8.1f}")
+
+    hermes = results["pythia + Hermes-O (POPET)"]
+    print()
+    print("POPET off-chip prediction:")
+    print(f"  accuracy  {hermes.predictor_accuracy:.1%}")
+    print(f"  coverage  {hermes.predictor_coverage:.1%}")
+    print(f"  Hermes requests issued   {hermes.hermes['hermes_requests_issued']}")
+    print(f"  Hermes requests useful   {hermes.hermes['hermes_requests_useful']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose setuptools lacks PEP 660 support (no ``wheel``
+package available): ``pip install -e . --no-build-isolation`` falls back
+to the legacy ``setup.py develop`` path through this file.
+"""
+
+from setuptools import setup
+
+setup()

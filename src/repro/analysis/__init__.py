@@ -1,0 +1,36 @@
+"""Metrics, aggregation and reporting helpers.
+
+Implements the paper's evaluation metrics (Appendix A.7): IPC speedup
+over the no-prefetching system, geometric-mean aggregation, predictor
+accuracy and coverage, main-memory request overhead, stall-cycle
+reduction, plus a simple activity-based power model standing in for
+McPAT and text-table formatting for the benchmark harness output.
+"""
+
+from repro.analysis.metrics import (
+    average,
+    category_mean,
+    geomean,
+    geomean_speedup,
+    main_memory_overhead,
+    percent_increase,
+    speedup_by_category,
+    stall_reduction,
+)
+from repro.analysis.power import PowerModel, PowerBreakdown
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "geomean",
+    "average",
+    "geomean_speedup",
+    "speedup_by_category",
+    "category_mean",
+    "percent_increase",
+    "main_memory_overhead",
+    "stall_reduction",
+    "PowerModel",
+    "PowerBreakdown",
+    "format_table",
+    "format_series",
+]

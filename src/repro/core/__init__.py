@@ -1,0 +1,13 @@
+"""Hermes mechanism: issuing and tracking speculative main-memory requests.
+
+This package contains the paper's primary contribution glue: the
+:class:`~repro.core.hermes.HermesEngine` couples an off-chip predictor
+(typically POPET) with the main-memory controller, issuing a *Hermes
+request* for every load the predictor flags as off-chip and providing the
+completion cycle the cache hierarchy should wait on if the load indeed
+misses the LLC.
+"""
+
+from repro.core.hermes import HermesConfig, HermesEngine, HermesStats
+
+__all__ = ["HermesConfig", "HermesEngine", "HermesStats"]

@@ -1,0 +1,13 @@
+"""Out-of-order core timing model.
+
+A trace-driven, cycle-approximate model of the paper's Alder Lake-like
+performance core (Table 4): 6-wide fetch/commit, a 512-entry ROB, and a
+128-entry load queue.  The model captures the behaviour the paper's
+results depend on — loads overlap up to the ROB's latency tolerance, and
+an incomplete off-chip load at the ROB head blocks retirement and stalls
+the core — without simulating every pipeline stage.
+"""
+
+from repro.cpu.core import CoreConfig, CoreStats, OutOfOrderCore
+
+__all__ = ["CoreConfig", "CoreStats", "OutOfOrderCore"]

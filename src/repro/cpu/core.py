@@ -1,0 +1,258 @@
+"""Trace-driven out-of-order core model.
+
+The model advances a *frontend cycle* as it dispatches instructions at the
+configured width, and keeps a window of in-flight loads bounded by the
+reorder-buffer size.  A load's completion time comes from the cache
+hierarchy (and, with Hermes enabled, from the Hermes engine's speculative
+request).  When the distance between the dispatching instruction and the
+oldest incomplete load exceeds the ROB size, the frontend stalls until
+that load completes — this is exactly the "off-chip load blocks
+instruction retirement from the ROB" behaviour the paper quantifies
+(Figs. 2 and 3), and is where Hermes's latency savings turn into saved
+stall cycles and higher IPC.
+
+Dependent loads (``depends_on_previous_load``) cannot issue before the
+previous load's data returns, which limits memory-level parallelism for
+pointer-chasing workloads the way real dependence chains do.
+
+The core exposes both a one-shot :meth:`OutOfOrderCore.run` and a
+step-wise API (:meth:`begin` / :meth:`step` / :meth:`finalize`) so the
+multi-core driver can interleave several cores over a shared LLC and
+memory controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.hermes import HermesEngine
+from repro.memory.hierarchy import CacheHierarchy
+from repro.workloads.trace import MemoryAccess, Trace
+
+
+@dataclass
+class CoreConfig:
+    """Core parameters (paper Table 4 defaults)."""
+
+    rob_size: int = 512
+    fetch_width: int = 6
+    commit_width: int = 6
+    load_queue_size: int = 128
+    store_queue_size: int = 72
+
+    def validate(self) -> None:
+        if self.rob_size <= 0:
+            raise ValueError("rob_size must be positive")
+        if self.fetch_width <= 0 or self.commit_width <= 0:
+            raise ValueError("fetch_width and commit_width must be positive")
+        if self.load_queue_size <= 0 or self.store_queue_size <= 0:
+            raise ValueError("queue sizes must be positive")
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution statistics."""
+
+    instructions: int = 0
+    memory_instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    cycles: int = 0
+    offchip_loads: int = 0
+    blocking_offchip_loads: int = 0
+    nonblocking_offchip_loads: int = 0
+    stall_cycles_offchip: int = 0
+    stall_cycles_offchip_onchip_portion: int = 0
+    stall_cycles_other: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def average_offchip_stall(self) -> float:
+        """Average stall cycles per blocking off-chip load (Fig. 3 metric)."""
+        if self.blocking_offchip_loads == 0:
+            return 0.0
+        return self.stall_cycles_offchip / self.blocking_offchip_loads
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions,
+            "memory_instructions": self.memory_instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "offchip_loads": self.offchip_loads,
+            "blocking_offchip_loads": self.blocking_offchip_loads,
+            "nonblocking_offchip_loads": self.nonblocking_offchip_loads,
+            "stall_cycles_offchip": self.stall_cycles_offchip,
+            "stall_cycles_offchip_onchip_portion": self.stall_cycles_offchip_onchip_portion,
+            "average_offchip_stall": self.average_offchip_stall,
+        }
+
+
+@dataclass
+class _InflightLoad:
+    """A load that has issued but not yet (necessarily) retired."""
+
+    instruction_index: int
+    completion_cycle: int
+    went_offchip: bool
+    onchip_latency: int
+
+
+class OutOfOrderCore:
+    """Cycle-approximate out-of-order core executing a memory-access trace."""
+
+    def __init__(self, hierarchy: CacheHierarchy,
+                 hermes: Optional[HermesEngine] = None,
+                 config: Optional[CoreConfig] = None) -> None:
+        self.config = config or CoreConfig()
+        self.config.validate()
+        self.hierarchy = hierarchy
+        self.hermes = hermes
+        self.stats = CoreStats()
+        self._inflight: Deque[_InflightLoad] = deque()
+        self._dispatch_cycle = 0.0
+        self._instruction_index = 0
+        self._previous_load_completion = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # One-shot execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Trace, max_accesses: Optional[int] = None) -> CoreStats:
+        """Execute ``trace`` to completion and return the execution statistics."""
+        self.begin()
+        accesses = trace.accesses if max_accesses is None else trace.accesses[:max_accesses]
+        for access in accesses:
+            self.step(access)
+        return self.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Step-wise execution (used by the multi-core driver)
+    # ------------------------------------------------------------------ #
+
+    def begin(self) -> None:
+        """Reset dynamic state before executing a trace."""
+        self._inflight.clear()
+        self._dispatch_cycle = 0.0
+        self._instruction_index = 0
+        self._previous_load_completion = 0
+        self._running = True
+
+    def step(self, access: MemoryAccess) -> None:
+        """Execute one memory-access record (plus its preceding ALU block)."""
+        if not self._running:
+            raise RuntimeError("call begin() before step()")
+        group_size = access.nonmem_before + 1
+        self._instruction_index += group_size
+        self._dispatch_cycle += group_size / self.config.fetch_width
+
+        self._retire_completed(self._dispatch_cycle)
+        self._dispatch_cycle = self._enforce_rob_limit(self._dispatch_cycle,
+                                                       self._instruction_index,
+                                                       self.config.rob_size)
+
+        issue_cycle = int(self._dispatch_cycle)
+        if access.depends_on_previous_load:
+            issue_cycle = max(issue_cycle, self._previous_load_completion)
+
+        if access.is_load:
+            completion, went_offchip, onchip_latency = self._execute_load(
+                access.pc, access.address, issue_cycle)
+            self._previous_load_completion = completion
+            self.stats.loads += 1
+            self._inflight.append(_InflightLoad(
+                instruction_index=self._instruction_index,
+                completion_cycle=completion,
+                went_offchip=went_offchip,
+                onchip_latency=onchip_latency))
+            if len(self._inflight) > self.config.load_queue_size:
+                self._dispatch_cycle = self._drain_oldest(self._dispatch_cycle)
+        else:
+            # Stores update cache state but retire off the critical path
+            # through the store queue.
+            self.hierarchy.store(access.address, access.pc, issue_cycle)
+            self.stats.stores += 1
+        self.stats.memory_instructions += 1
+
+    def finalize(self) -> CoreStats:
+        """Drain outstanding loads and close out the statistics."""
+        final_cycle = self._dispatch_cycle
+        while self._inflight:
+            final_cycle = self._drain_oldest(final_cycle)
+        self.stats.instructions = self._instruction_index
+        self.stats.cycles = max(1, int(final_cycle))
+        self._running = False
+        return self.stats
+
+    @property
+    def current_cycle(self) -> float:
+        """The frontend's current cycle (used by the multi-core scheduler)."""
+        return self._dispatch_cycle
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _execute_load(self, pc: int, address: int,
+                      cycle: int) -> Tuple[int, bool, int]:
+        """Issue one load through Hermes (if enabled) and the hierarchy."""
+        if self.hermes is not None:
+            decision = self.hermes.predict_and_issue(pc, address, cycle)
+            outcome = self.hierarchy.load(address, pc, cycle,
+                                          hermes_ready=decision.hermes_ready)
+            self.hermes.train(decision, outcome.went_offchip,
+                              hermes_used=outcome.hermes_used)
+        else:
+            outcome = self.hierarchy.load(address, pc, cycle)
+        return outcome.completion_cycle, outcome.went_offchip, outcome.onchip_latency
+
+    def _retire_completed(self, cycle: float) -> None:
+        inflight = self._inflight
+        while inflight and inflight[0].completion_cycle <= cycle:
+            load = inflight.popleft()
+            if load.went_offchip:
+                self.stats.offchip_loads += 1
+                self.stats.nonblocking_offchip_loads += 1
+
+    def _enforce_rob_limit(self, dispatch_cycle: float, instruction_index: int,
+                           rob_size: int) -> float:
+        inflight = self._inflight
+        while inflight and (instruction_index - inflight[0].instruction_index) >= rob_size:
+            dispatch_cycle = self._wait_for_oldest(dispatch_cycle)
+        return dispatch_cycle
+
+    def _drain_oldest(self, dispatch_cycle: float) -> float:
+        if not self._inflight:
+            return dispatch_cycle
+        return self._wait_for_oldest(dispatch_cycle)
+
+    def _wait_for_oldest(self, dispatch_cycle: float) -> float:
+        load = self._inflight.popleft()
+        if load.completion_cycle <= dispatch_cycle:
+            if load.went_offchip:
+                self.stats.offchip_loads += 1
+                self.stats.nonblocking_offchip_loads += 1
+            return dispatch_cycle
+        stall = load.completion_cycle - dispatch_cycle
+        if load.went_offchip:
+            self.stats.offchip_loads += 1
+            self.stats.blocking_offchip_loads += 1
+            self.stats.stall_cycles_offchip += int(stall)
+            # The portion of the stall the on-chip hierarchy access is
+            # responsible for (Fig. 3's dark bars): everything after the L1
+            # access, capped by the actual stall length.
+            hidden = min(int(stall), max(0, load.onchip_latency - self.hierarchy.l1d.latency))
+            self.stats.stall_cycles_offchip_onchip_portion += hidden
+        else:
+            self.stats.stall_cycles_other += int(stall)
+        return float(load.completion_cycle)

@@ -1,0 +1,21 @@
+"""Off-chip main memory (DRAM) substrate.
+
+Models the paper's DDR4-3200-like main memory: channels, ranks, banks,
+per-bank row buffers, FR-FCFS-style scheduling approximated through
+per-bank and per-channel busy times, and a read queue (RQ) that supports
+the Hermes request-matching behaviour (a regular LLC-miss request finds an
+in-flight Hermes request to the same block and waits for it instead of
+issuing a second access).
+"""
+
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import MemoryController, MemoryRequest, RequestSource
+from repro.dram.timing import DRAMTiming
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMTiming",
+    "MemoryController",
+    "MemoryRequest",
+    "RequestSource",
+]

@@ -1,0 +1,277 @@
+"""Main-memory controller with a Hermes-aware read queue.
+
+The controller services three kinds of requests (``RequestSource``):
+
+* ``DEMAND`` — a regular load that missed the LLC.
+* ``PREFETCH`` — a prefetcher-generated fill.
+* ``HERMES`` — a speculative request issued directly by the core for a
+  load POPET predicted to go off-chip.
+
+The key Hermes behaviour lives here: when a demand request arrives and a
+Hermes (or any) request to the same block is already in flight, the demand
+request *merges* with it and completes when the in-flight request
+completes (Section 6.2.1 of the paper).  When a Hermes request completes
+and no demand ever arrived for it, the data is dropped — the controller
+just counts it as a wasted request (Section 6.2.2); nothing is filled into
+the cache hierarchy, so no coherence recovery is needed.
+
+Timing is approximate but bandwidth-aware: each request occupies its bank
+for the row access latency and the channel data bus for the burst length,
+and queueing delay grows when the read queue backs up, which is what makes
+low-accuracy predictors (TTP) and aggressive prefetchers hurt in the
+bandwidth-constrained configurations, as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import BankState, DRAMTiming
+
+# Cacheline size is 64 B throughout the simulator.  Defined locally (rather
+# than imported from repro.memory.address) so the DRAM package has no import
+# dependency on the cache package.
+BLOCK_BITS = 6
+
+
+class RequestSource(enum.Enum):
+    """Origin of a main-memory request."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+    HERMES = "hermes"
+    WRITEBACK = "writeback"
+
+
+@dataclass
+class MemoryRequest:
+    """A completed main-memory request (returned for bookkeeping)."""
+
+    block: int
+    source: RequestSource
+    arrival_cycle: int
+    ready_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return self.ready_cycle - self.arrival_cycle
+
+
+@dataclass
+class ControllerStats:
+    """Counts of requests serviced by the memory controller."""
+
+    demand_requests: int = 0
+    prefetch_requests: int = 0
+    hermes_requests: int = 0
+    writeback_requests: int = 0
+    merged_requests: int = 0
+    hermes_dropped: int = 0
+    hermes_consumed: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    total_read_latency: int = 0
+    total_reads: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return (self.demand_requests + self.prefetch_requests
+                + self.hermes_requests + self.writeback_requests)
+
+    @property
+    def average_read_latency(self) -> float:
+        if self.total_reads == 0:
+            return 0.0
+        return self.total_read_latency / self.total_reads
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "demand_requests": self.demand_requests,
+            "prefetch_requests": self.prefetch_requests,
+            "hermes_requests": self.hermes_requests,
+            "writeback_requests": self.writeback_requests,
+            "merged_requests": self.merged_requests,
+            "hermes_dropped": self.hermes_dropped,
+            "hermes_consumed": self.hermes_consumed,
+            "total_requests": self.total_requests,
+            "average_read_latency": self.average_read_latency,
+        }
+
+
+class MemoryController:
+    """Bandwidth- and row-buffer-aware main-memory controller."""
+
+    def __init__(self, config: Optional[DRAMConfig] = None) -> None:
+        self.config = config or DRAMConfig()
+        self.config.validate()
+        self.timing = DRAMTiming(self.config)
+        self._banks: List[BankState] = [BankState() for _ in range(self.config.total_banks)]
+        self._channel_busy_until: List[int] = [0] * self.config.channels
+        # In-flight requests: block -> ready cycle.  Used both for Hermes
+        # matching and for demand/prefetch merging.
+        self._inflight: Dict[int, int] = {}
+        # Blocks fetched by a Hermes request that have not (yet) been
+        # claimed by a demand request.
+        self._hermes_unclaimed: Dict[int, int] = {}
+        self.stats = ControllerStats()
+        # Row interleaving: consecutive blocks map to the same row until the
+        # row buffer is exhausted; rows stripe across banks.
+        self._blocks_per_row = max(1, self.config.row_buffer_bytes // 64)
+
+    # ------------------------------------------------------------------ #
+    # Address mapping
+    # ------------------------------------------------------------------ #
+
+    def _map(self, block: int) -> tuple[int, int, int]:
+        """Map a block number to (channel, bank index, row)."""
+        row_id = block // self._blocks_per_row
+        channel = row_id % self.config.channels
+        banks_per_channel = self.config.ranks_per_channel * self.config.banks_per_rank
+        bank_in_channel = (row_id // self.config.channels) % banks_per_channel
+        bank = channel * banks_per_channel + bank_in_channel
+        row = row_id // (self.config.channels * banks_per_channel)
+        return channel, bank, row
+
+    # ------------------------------------------------------------------ #
+    # Request servicing
+    # ------------------------------------------------------------------ #
+
+    def access(self, address: int, cycle: int,
+               source: RequestSource = RequestSource.DEMAND) -> MemoryRequest:
+        """Service a main-memory request arriving at ``cycle``.
+
+        Returns a :class:`MemoryRequest` whose ``ready_cycle`` is when the
+        data is available at the memory controller.  Requests to a block
+        with an in-flight access merge with it.
+        """
+        block = address >> BLOCK_BITS
+        self._count(source)
+
+        inflight_ready = self._inflight.get(block)
+        if inflight_ready is not None and inflight_ready > cycle:
+            # Merge with the in-flight request (includes the demand-finds-
+            # Hermes-request case).
+            self.stats.merged_requests += 1
+            if source == RequestSource.DEMAND and block in self._hermes_unclaimed:
+                del self._hermes_unclaimed[block]
+                self.stats.hermes_consumed += 1
+            ready = inflight_ready
+            self._account_read(source, cycle, ready)
+            return MemoryRequest(block, source, cycle, ready)
+
+        channel, bank_index, row = self._map(block)
+        bank = self._banks[bank_index]
+
+        # Queueing: the request cannot start before its bank is free, and its
+        # data transfer cannot start before the channel's data bus is free.
+        # Bank- and channel-occupancy together model FR-FCFS-style queueing
+        # delay without an explicit event queue.
+        start = max(cycle, bank.busy_until)
+
+        access_latency, kind = self.timing.access_latency(bank, row)
+        if kind == "hit":
+            self.stats.row_hits += 1
+        elif kind == "miss":
+            self.stats.row_misses += 1
+        else:
+            self.stats.row_conflicts += 1
+
+        data_start = max(start + access_latency, self._channel_busy_until[channel])
+        ready = data_start + self.config.burst_cycles
+        bank.busy_until = start + access_latency
+        self._channel_busy_until[channel] = ready
+
+        self._inflight[block] = ready
+        if source == RequestSource.HERMES:
+            self._hermes_unclaimed[block] = ready
+        elif source == RequestSource.DEMAND and block in self._hermes_unclaimed:
+            del self._hermes_unclaimed[block]
+            self.stats.hermes_consumed += 1
+
+        if len(self._inflight) > 4 * self.config.read_queue_size:
+            self._prune(cycle)
+
+        self._account_read(source, cycle, ready)
+        return MemoryRequest(block, source, cycle, ready)
+
+    def lookup_inflight(self, address: int, cycle: int) -> Optional[int]:
+        """Return the ready cycle of an in-flight request to ``address``, if any."""
+        block = address >> BLOCK_BITS
+        ready = self._inflight.get(block)
+        if ready is None or ready <= cycle:
+            return None
+        return ready
+
+    def claim_hermes(self, address: int) -> bool:
+        """Mark the Hermes request for ``address`` as consumed by a demand load.
+
+        Returns True if an unclaimed Hermes request to the block existed.
+        """
+        block = address >> BLOCK_BITS
+        if block in self._hermes_unclaimed:
+            del self._hermes_unclaimed[block]
+            self.stats.hermes_consumed += 1
+            return True
+        return False
+
+    def drain_unclaimed_hermes(self, cycle: int) -> int:
+        """Drop completed Hermes requests nobody claimed; return how many.
+
+        Mirrors Section 6.2.2: data fetched by a mispredicted Hermes request
+        is never filled into the hierarchy.
+        """
+        expired = [block for block, ready in self._hermes_unclaimed.items()
+                   if ready <= cycle]
+        for block in expired:
+            del self._hermes_unclaimed[block]
+        self.stats.hermes_dropped += len(expired)
+        return len(expired)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def outstanding_requests(self, cycle: int) -> int:
+        """Number of requests still in flight at ``cycle`` (read-queue occupancy)."""
+        return sum(1 for ready in self._inflight.values() if ready > cycle)
+
+    def _count(self, source: RequestSource) -> None:
+        if source == RequestSource.DEMAND:
+            self.stats.demand_requests += 1
+        elif source == RequestSource.PREFETCH:
+            self.stats.prefetch_requests += 1
+        elif source == RequestSource.HERMES:
+            self.stats.hermes_requests += 1
+        else:
+            self.stats.writeback_requests += 1
+
+    def _account_read(self, source: RequestSource, cycle: int, ready: int) -> None:
+        if source in (RequestSource.DEMAND, RequestSource.HERMES,
+                      RequestSource.PREFETCH):
+            self.stats.total_reads += 1
+            self.stats.total_read_latency += ready - cycle
+
+    def _prune(self, cycle: int) -> None:
+        stale = [block for block, ready in self._inflight.items() if ready <= cycle]
+        for block in stale:
+            del self._inflight[block]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_memory_requests(self) -> int:
+        """Total read-side requests (demand + prefetch + Hermes)."""
+        return (self.stats.demand_requests + self.stats.prefetch_requests
+                + self.stats.hermes_requests)
+
+    def row_buffer_hit_rate(self) -> float:
+        total = self.stats.row_hits + self.stats.row_misses + self.stats.row_conflicts
+        if total == 0:
+            return 0.0
+        return self.stats.row_hits / total

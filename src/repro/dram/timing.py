@@ -1,0 +1,53 @@
+"""Per-bank DRAM timing: row-buffer hits, misses and conflicts.
+
+The controller keeps one :class:`BankState` per bank.  Given a request's
+row and arrival cycle, :class:`DRAMTiming` computes the access latency
+(activation + column access, or precharge + activation + column access on
+a row conflict) and updates the open row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dram.config import DRAMConfig
+
+
+@dataclass
+class BankState:
+    """Dynamic state of one DRAM bank."""
+
+    open_row: int = -1
+    busy_until: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+
+class DRAMTiming:
+    """Computes access latencies against per-bank row-buffer state."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        config.validate()
+        self.config = config
+        self.trcd = config.trcd_cycles
+        self.trp = config.trp_cycles
+        self.tcas = config.tcas_cycles
+
+    def access_latency(self, bank: BankState, row: int) -> Tuple[int, str]:
+        """Return (latency_cycles, kind) for accessing ``row`` in ``bank``.
+
+        ``kind`` is one of ``"hit"``, ``"miss"`` (bank idle / closed row) or
+        ``"conflict"`` (different row open).  The bank's open row is updated.
+        """
+        if bank.open_row == row:
+            bank.row_hits += 1
+            return self.tcas, "hit"
+        if bank.open_row == -1:
+            bank.row_misses += 1
+            bank.open_row = row
+            return self.trcd + self.tcas, "miss"
+        bank.row_conflicts += 1
+        bank.open_row = row
+        return self.trp + self.trcd + self.tcas, "conflict"

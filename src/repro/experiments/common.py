@@ -1,0 +1,44 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate_trace
+from repro.workloads.suite import CATEGORIES, workload_suite
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class ExperimentSetup:
+    """Sizing knobs shared by every experiment runner.
+
+    The defaults are deliberately small so the full benchmark harness runs
+    in minutes; increase ``num_accesses`` and ``per_category`` for a
+    fuller sweep (the paper's shapes already emerge at the defaults).
+    """
+
+    num_accesses: int = 10000
+    per_category: Optional[int] = 2
+    categories: Sequence[str] = field(default_factory=lambda: list(CATEGORIES))
+
+    def build_suite(self) -> List[Trace]:
+        """Generate the evaluation workload traces for this setup."""
+        return workload_suite(num_accesses=self.num_accesses,
+                              categories=self.categories,
+                              per_category=self.per_category)
+
+
+def run_config_over_suite(config: SystemConfig,
+                          traces: Sequence[Trace]) -> List[SimulationResult]:
+    """Run every trace through (a fresh instance of) one configuration."""
+    return [simulate_trace(config, trace) for trace in traces]
+
+
+def results_by_label(configs: Sequence[SystemConfig],
+                     traces: Sequence[Trace]) -> Dict[str, List[SimulationResult]]:
+    """Run several configurations over the same traces, keyed by config label."""
+    return {config.label: run_config_over_suite(config, traces) for config in configs}

@@ -1,0 +1,44 @@
+"""Ideal-Hermes potential study (Fig. 4 of the paper).
+
+Fig. 4(a): speedup of Ideal Hermes by itself and combined with Pythia
+over the no-prefetching system.  Fig. 4(b): Ideal Hermes combined with
+the four other prefetchers (Bingo, SPP, MLOP, SMS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import geomean_speedup
+from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.sim.config import SystemConfig
+
+
+def run_fig04_ideal_hermes(setup: Optional[ExperimentSetup] = None,
+                           prefetchers: Sequence[str] = ("pythia", "bingo", "spp",
+                                                         "mlop", "sms"),
+                           ) -> Dict[str, Dict[str, float]]:
+    """Return speedups of prefetcher-only and prefetcher+Ideal-Hermes systems.
+
+    The first prefetcher in ``prefetchers`` (Pythia by default) also gets an
+    "ideal hermes alone" entry, matching Fig. 4(a).
+    """
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+
+    table: Dict[str, Dict[str, float]] = {}
+    ideal_alone = run_config_over_suite(
+        SystemConfig.with_hermes("ideal", prefetcher="none"), traces)
+    table["ideal-hermes-alone"] = {
+        "speedup": geomean_speedup(ideal_alone, baseline)}
+
+    for prefetcher in prefetchers:
+        only = run_config_over_suite(SystemConfig.baseline(prefetcher), traces)
+        combined = run_config_over_suite(
+            SystemConfig.with_hermes("ideal", prefetcher=prefetcher), traces)
+        table[prefetcher] = {
+            "prefetcher_only": geomean_speedup(only, baseline),
+            "prefetcher_plus_ideal_hermes": geomean_speedup(combined, baseline),
+        }
+    return table

@@ -1,0 +1,43 @@
+"""Eight-core performance experiment (Fig. 16 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.metrics import geomean
+from repro.sim.config import SystemConfig
+from repro.sim.multicore import simulate_multicore
+from repro.workloads.suite import multicore_mixes
+
+
+def run_fig16_multicore(num_cores: int = 8, num_mixes: int = 3,
+                        num_accesses: int = 4000,
+                        predictors: Sequence[str] = ("hmp", "ttp", "popet"),
+                        seed: int = 99) -> Dict[str, float]:
+    """Geomean throughput speedup of Pythia + Hermes-{HMP,TTP,POPET} over no-prefetching.
+
+    Uses heterogeneous multi-programmed mixes (one workload per core) over a
+    shared LLC and the paper's 4-channel eight-core memory system.
+    """
+    mixes = multicore_mixes(num_cores=num_cores, num_mixes=num_mixes,
+                            num_accesses=num_accesses, seed=seed)
+    baseline_throughputs = []
+    config_throughputs: Dict[str, list] = {"pythia": []}
+    for predictor in predictors:
+        config_throughputs[f"pythia+hermes-{predictor}"] = []
+
+    for mix in mixes:
+        baseline = simulate_multicore(SystemConfig.no_prefetching(), mix)
+        baseline_throughputs.append(baseline.throughput)
+        pythia = simulate_multicore(SystemConfig.baseline("pythia"), mix)
+        config_throughputs["pythia"].append(pythia.throughput)
+        for predictor in predictors:
+            config = SystemConfig.with_hermes(predictor, prefetcher="pythia")
+            result = simulate_multicore(config, mix)
+            config_throughputs[f"pythia+hermes-{predictor}"].append(result.throughput)
+
+    table: Dict[str, float] = {}
+    for label, throughputs in config_throughputs.items():
+        speedups = [t / b for t, b in zip(throughputs, baseline_throughputs) if b > 0]
+        table[label] = geomean(speedups)
+    return table

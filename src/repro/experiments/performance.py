@@ -1,0 +1,143 @@
+"""Single-core performance experiments (Figs. 12, 13, 14, 15, 18 and 22)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import (
+    average,
+    geomean_speedup,
+    main_memory_overhead,
+    speedup_by_category,
+    stall_reduction,
+)
+from repro.analysis.power import PowerModel
+from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.sim.config import SystemConfig
+
+
+def _standard_configs() -> Dict[str, SystemConfig]:
+    """The five systems compared in Fig. 12."""
+    return {
+        "hermes-P": SystemConfig.with_hermes("popet", prefetcher="none", optimistic=False),
+        "hermes-O": SystemConfig.with_hermes("popet", prefetcher="none", optimistic=True),
+        "pythia": SystemConfig.baseline("pythia"),
+        "pythia+hermes-P": SystemConfig.with_hermes("popet", prefetcher="pythia",
+                                                    optimistic=False),
+        "pythia+hermes-O": SystemConfig.with_hermes("popet", prefetcher="pythia",
+                                                    optimistic=True),
+    }
+
+
+def run_fig12_singlecore_speedup(setup: Optional[ExperimentSetup] = None,
+                                 ) -> Dict[str, Dict[str, float]]:
+    """Per-category geomean speedup of the Fig. 12 systems over no-prefetching."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    table: Dict[str, Dict[str, float]] = {}
+    for label, config in _standard_configs().items():
+        results = run_config_over_suite(config, traces)
+        table[label] = speedup_by_category(results, baseline)
+    return table
+
+
+def run_fig13_per_workload_speedup(setup: Optional[ExperimentSetup] = None,
+                                   ) -> Dict[str, Dict[str, float]]:
+    """Per-workload speedups of Hermes, Pythia and Pythia+Hermes (Fig. 13 line graph)."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    configs = {
+        "hermes-O": SystemConfig.with_hermes("popet", prefetcher="none"),
+        "pythia": SystemConfig.baseline("pythia"),
+        "pythia+hermes-O": SystemConfig.with_hermes("popet", prefetcher="pythia"),
+    }
+    baseline_by_workload = {r.workload: r for r in baseline}
+    table: Dict[str, Dict[str, float]] = defaultdict(dict)
+    for label, config in configs.items():
+        for result in run_config_over_suite(config, traces):
+            table[result.workload][label] = result.speedup_over(
+                baseline_by_workload[result.workload])
+    return dict(table)
+
+
+def run_fig14_predictor_comparison(setup: Optional[ExperimentSetup] = None,
+                                   predictors: Sequence[str] = ("hmp", "ttp", "popet",
+                                                                "ideal"),
+                                   ) -> Dict[str, float]:
+    """Geomean speedup of Pythia + Hermes-{HMP, TTP, POPET, Ideal} over no-prefetching."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    table: Dict[str, float] = {
+        "pythia": geomean_speedup(
+            run_config_over_suite(SystemConfig.baseline("pythia"), traces), baseline),
+    }
+    for predictor in predictors:
+        config = SystemConfig.with_hermes(predictor, prefetcher="pythia")
+        results = run_config_over_suite(config, traces)
+        table[f"pythia+hermes-{predictor}"] = geomean_speedup(results, baseline)
+    return table
+
+
+def run_fig15_stalls_and_overhead(setup: Optional[ExperimentSetup] = None,
+                                  ) -> Dict[str, float]:
+    """Fig. 15(a): stall-cycle reduction of Hermes; Fig. 15(b): memory-request overhead."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    pythia = run_config_over_suite(SystemConfig.baseline("pythia"), traces)
+    pythia_hermes = run_config_over_suite(
+        SystemConfig.with_hermes("popet", prefetcher="pythia"), traces)
+    hermes_only = run_config_over_suite(
+        SystemConfig.with_hermes("popet", prefetcher="none"), traces)
+    return {
+        "stall_reduction_pct_vs_pythia": stall_reduction(pythia_hermes, pythia),
+        "memory_overhead_pct_hermes": main_memory_overhead(hermes_only, noprefetch),
+        "memory_overhead_pct_pythia": main_memory_overhead(pythia, noprefetch),
+        "memory_overhead_pct_pythia_hermes": main_memory_overhead(pythia_hermes,
+                                                                  noprefetch),
+    }
+
+
+def run_fig18_power(setup: Optional[ExperimentSetup] = None) -> Dict[str, float]:
+    """Runtime dynamic power of Hermes / Pythia / Pythia+Hermes vs no-prefetching."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    model = PowerModel()
+    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    baseline_by_workload = {r.workload: r for r in noprefetch}
+    table: Dict[str, float] = {"no-prefetching": 1.0}
+    configs = {
+        "hermes": SystemConfig.with_hermes("popet", prefetcher="none"),
+        "pythia": SystemConfig.baseline("pythia"),
+        "pythia+hermes": SystemConfig.with_hermes("popet", prefetcher="pythia"),
+    }
+    for label, config in configs.items():
+        results = run_config_over_suite(config, traces)
+        ratios = [model.relative_power(result, baseline_by_workload[result.workload])
+                  for result in results]
+        table[label] = average(ratios)
+    return table
+
+
+def run_fig22_overhead_by_prefetcher(setup: Optional[ExperimentSetup] = None,
+                                     prefetchers: Sequence[str] = ("pythia", "bingo",
+                                                                   "spp", "mlop", "sms"),
+                                     ) -> Dict[str, Dict[str, float]]:
+    """Main-memory request overhead of each prefetcher alone and with Hermes."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    table: Dict[str, Dict[str, float]] = {}
+    for prefetcher in prefetchers:
+        only = run_config_over_suite(SystemConfig.baseline(prefetcher), traces)
+        combined = run_config_over_suite(
+            SystemConfig.with_hermes("popet", prefetcher=prefetcher), traces)
+        table[prefetcher] = {
+            "prefetcher_pct": main_memory_overhead(only, noprefetch),
+            "prefetcher_plus_hermes_pct": main_memory_overhead(combined, noprefetch),
+        }
+    return table

@@ -1,0 +1,143 @@
+"""Off-chip predictor analysis experiments (Figs. 9, 10, 11 and 21).
+
+* Fig. 9 — accuracy and coverage of POPET vs HMP vs TTP.
+* Fig. 10 — accuracy/coverage of each POPET feature individually and of
+  stacked feature combinations.
+* Fig. 11 — per-workload accuracy/coverage of each individual feature
+  (shows no single feature wins everywhere).
+* Fig. 21 — POPET accuracy/coverage as the baseline prefetcher changes
+  (including no prefetcher at all).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import average
+from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.offchip.features import SELECTED_FEATURES
+from repro.offchip.popet import POPET
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate_trace
+
+#: Short display names for the five selected features (Fig. 10/11 legend order).
+FEATURE_LABELS = {
+    "pc_xor_cl_offset": "PC ^ cacheline offset",
+    "last_4_load_pcs": "Last-4 load PCs",
+    "pc_xor_byte_offset": "PC ^ byte offset",
+    "pc_first_access": "PC + first access",
+    "cl_offset_first_access": "Cacheline offset + first access",
+}
+
+
+def run_fig09_accuracy_coverage(setup: Optional[ExperimentSetup] = None,
+                                predictors: Sequence[str] = ("hmp", "ttp", "popet"),
+                                prefetcher: str = "pythia",
+                                ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Accuracy and coverage of each predictor, per category and on average.
+
+    Returns ``{predictor: {category: {"accuracy": .., "coverage": ..}}}``.
+    """
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for predictor in predictors:
+        config = SystemConfig.with_hermes(predictor, prefetcher=prefetcher)
+        results = run_config_over_suite(config, traces)
+        grouped: Dict[str, list] = defaultdict(list)
+        for result in results:
+            grouped[result.category].append(result)
+        per_category = {
+            category: {
+                "accuracy": average(r.predictor_accuracy for r in rs),
+                "coverage": average(r.predictor_coverage for r in rs),
+            }
+            for category, rs in grouped.items()
+        }
+        per_category["AVG"] = {
+            "accuracy": average(r.predictor_accuracy for r in results),
+            "coverage": average(r.predictor_coverage for r in results),
+        }
+        table[predictor] = per_category
+    return table
+
+
+def _popet_with_features(features: Sequence[str]) -> POPET:
+    return POPET.with_features(list(features))
+
+
+def run_fig10_feature_ablation(setup: Optional[ExperimentSetup] = None,
+                               prefetcher: str = "pythia") -> Dict[str, Dict[str, float]]:
+    """Accuracy/coverage of POPET with individual features and stacked combinations."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    # Individual features first, then cumulative combinations, then full POPET
+    # — the same presentation as Fig. 10.
+    variants: Dict[str, List[str]] = {}
+    for feature in SELECTED_FEATURES:
+        variants[FEATURE_LABELS.get(feature, feature)] = [feature]
+    stacked: List[str] = []
+    for index, feature in enumerate(SELECTED_FEATURES[:-1], start=1):
+        stacked = SELECTED_FEATURES[:index + 1]
+        variants[f"top-{index + 1} combined"] = list(stacked)
+    variants["All (POPET)"] = list(SELECTED_FEATURES)
+
+    config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
+    table: Dict[str, Dict[str, float]] = {}
+    for label, features in variants.items():
+        accuracies: List[float] = []
+        coverages: List[float] = []
+        for trace in traces:
+            predictor = _popet_with_features(features)
+            result = simulate_trace(config, trace, predictor=predictor)
+            accuracies.append(result.predictor_accuracy)
+            coverages.append(result.predictor_coverage)
+        table[label] = {"accuracy": average(accuracies),
+                        "coverage": average(coverages)}
+    return table
+
+
+def run_fig11_feature_variability(setup: Optional[ExperimentSetup] = None,
+                                  prefetcher: str = "pythia",
+                                  ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-workload accuracy/coverage of each individual feature.
+
+    Returns ``{workload: {feature: {"accuracy": .., "coverage": ..}}}`` —
+    the data behind the claim that no single feature is best everywhere.
+    """
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for trace in traces:
+        per_feature: Dict[str, Dict[str, float]] = {}
+        for feature in SELECTED_FEATURES:
+            predictor = _popet_with_features([feature])
+            result = simulate_trace(config, trace, predictor=predictor)
+            per_feature[FEATURE_LABELS.get(feature, feature)] = {
+                "accuracy": result.predictor_accuracy,
+                "coverage": result.predictor_coverage,
+            }
+        table[trace.name] = per_feature
+    return table
+
+
+def run_fig21_accuracy_by_prefetcher(setup: Optional[ExperimentSetup] = None,
+                                     prefetchers: Sequence[str] = ("pythia", "bingo",
+                                                                   "spp", "mlop",
+                                                                   "sms", "none"),
+                                     ) -> Dict[str, Dict[str, float]]:
+    """POPET accuracy/coverage when combined with different baseline prefetchers."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    table: Dict[str, Dict[str, float]] = {}
+    for prefetcher in prefetchers:
+        config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
+        results = run_config_over_suite(config, traces)
+        label = f"{prefetcher}+hermes" if prefetcher != "none" else "hermes alone"
+        table[label] = {
+            "accuracy": average(r.predictor_accuracy for r in results),
+            "coverage": average(r.predictor_coverage for r in results),
+        }
+    return table

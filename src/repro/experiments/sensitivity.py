@@ -1,0 +1,187 @@
+"""Sensitivity studies (Figs. 17, 19 and 20 of the paper).
+
+Every runner sweeps one system parameter and reports the geomean speedup
+of Pythia alone and Pythia+Hermes over the no-prefetching system, so the
+benchmark output has the same series as the corresponding figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.metrics import average, geomean_speedup
+from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.offchip.popet import POPET, POPETConfig
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate_trace
+
+
+def _speedups_for(configs: Dict[str, SystemConfig],
+                  setup: ExperimentSetup) -> Dict[str, float]:
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    return {label: geomean_speedup(run_config_over_suite(config, traces), baseline)
+            for label, config in configs.items()}
+
+
+def run_fig17a_bandwidth_sensitivity(setup: Optional[ExperimentSetup] = None,
+                                     mtps_values: Sequence[int] = (800, 1600, 3200, 6400),
+                                     ) -> Dict[int, Dict[str, float]]:
+    """Speedups while scaling main-memory bandwidth (MTPS sweep, Fig. 17a)."""
+    setup = setup or ExperimentSetup()
+    table: Dict[int, Dict[str, float]] = {}
+    for mtps in mtps_values:
+        configs = {
+            "hermes": SystemConfig.with_hermes("popet").with_memory_bandwidth(mtps),
+            "pythia": SystemConfig.baseline("pythia").with_memory_bandwidth(mtps),
+            "pythia+hermes": SystemConfig.with_hermes(
+                "popet", prefetcher="pythia").with_memory_bandwidth(mtps),
+        }
+        # The no-prefetching baseline must use the same bandwidth.
+        traces = setup.build_suite()
+        baseline = run_config_over_suite(
+            SystemConfig.no_prefetching().with_memory_bandwidth(mtps), traces)
+        table[mtps] = {
+            label: geomean_speedup(run_config_over_suite(config, traces), baseline)
+            for label, config in configs.items()
+        }
+    return table
+
+
+def run_fig17b_prefetcher_sensitivity(setup: Optional[ExperimentSetup] = None,
+                                      prefetchers: Sequence[str] = ("pythia", "bingo",
+                                                                    "spp", "mlop", "sms"),
+                                      ) -> Dict[str, Dict[str, float]]:
+    """Hermes-P/O on top of each baseline prefetcher (Fig. 17b)."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    table: Dict[str, Dict[str, float]] = {}
+    for prefetcher in prefetchers:
+        only = run_config_over_suite(SystemConfig.baseline(prefetcher), traces)
+        hermes_p = run_config_over_suite(
+            SystemConfig.with_hermes("popet", prefetcher=prefetcher, optimistic=False),
+            traces)
+        hermes_o = run_config_over_suite(
+            SystemConfig.with_hermes("popet", prefetcher=prefetcher, optimistic=True),
+            traces)
+        table[prefetcher] = {
+            "prefetcher_only": geomean_speedup(only, baseline),
+            "prefetcher+hermes-P": geomean_speedup(hermes_p, baseline),
+            "prefetcher+hermes-O": geomean_speedup(hermes_o, baseline),
+        }
+    return table
+
+
+def run_fig17c_issue_latency_sensitivity(setup: Optional[ExperimentSetup] = None,
+                                         latencies: Sequence[int] = (0, 6, 12, 18, 24),
+                                         ) -> Dict[int, Dict[str, float]]:
+    """Speedup as the Hermes request issue latency varies (Fig. 17c)."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    pythia = geomean_speedup(
+        run_config_over_suite(SystemConfig.baseline("pythia"), traces), baseline)
+    table: Dict[int, Dict[str, float]] = {}
+    for latency in latencies:
+        config = SystemConfig.with_hermes(
+            "popet", prefetcher="pythia").with_hermes_issue_latency(latency)
+        combined = geomean_speedup(run_config_over_suite(config, traces), baseline)
+        table[latency] = {"pythia": pythia, "pythia+hermes": combined}
+    return table
+
+
+def run_fig17d_cache_latency_sensitivity(setup: Optional[ExperimentSetup] = None,
+                                         llc_latencies: Sequence[int] = (40, 55, 65),
+                                         ) -> Dict[int, Dict[str, float]]:
+    """Speedup as the on-chip hierarchy (LLC) access latency varies (Fig. 17d)."""
+    setup = setup or ExperimentSetup()
+    table: Dict[int, Dict[str, float]] = {}
+    for latency in llc_latencies:
+        traces = setup.build_suite()
+        baseline = run_config_over_suite(
+            SystemConfig.no_prefetching().with_llc_latency(latency), traces)
+        pythia = run_config_over_suite(
+            SystemConfig.baseline("pythia").with_llc_latency(latency), traces)
+        combined = run_config_over_suite(
+            SystemConfig.with_hermes("popet", prefetcher="pythia").with_llc_latency(latency),
+            traces)
+        table[latency] = {
+            "pythia": geomean_speedup(pythia, baseline),
+            "pythia+hermes": geomean_speedup(combined, baseline),
+        }
+    return table
+
+
+def run_fig17e_activation_threshold(setup: Optional[ExperimentSetup] = None,
+                                    thresholds: Sequence[int] = (-30, -26, -22, -18,
+                                                                 -10, -2),
+                                    ) -> Dict[int, Dict[str, float]]:
+    """POPET accuracy/coverage and Hermes speedup vs the activation threshold."""
+    setup = setup or ExperimentSetup()
+    traces = setup.build_suite()
+    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
+    baseline_by_workload = {r.workload: r for r in baseline}
+    config = SystemConfig.with_hermes("popet", prefetcher="pythia")
+    table: Dict[int, Dict[str, float]] = {}
+    for threshold in thresholds:
+        accuracies, coverages, speedups = [], [], []
+        for trace in traces:
+            predictor = POPET(POPETConfig(activation_threshold=threshold))
+            result = simulate_trace(config, trace, predictor=predictor)
+            accuracies.append(result.predictor_accuracy)
+            coverages.append(result.predictor_coverage)
+            speedups.append(result.speedup_over(baseline_by_workload[result.workload]))
+        table[threshold] = {
+            "accuracy": average(accuracies),
+            "coverage": average(coverages),
+            "speedup": average(speedups),
+        }
+    return table
+
+
+def run_fig19_rob_size_sensitivity(setup: Optional[ExperimentSetup] = None,
+                                   rob_sizes: Sequence[int] = (256, 512, 1024),
+                                   ) -> Dict[int, Dict[str, float]]:
+    """Speedup sensitivity to the reorder-buffer size (Fig. 19)."""
+    setup = setup or ExperimentSetup()
+    table: Dict[int, Dict[str, float]] = {}
+    for rob in rob_sizes:
+        traces = setup.build_suite()
+        baseline = run_config_over_suite(
+            SystemConfig.no_prefetching().with_rob_size(rob), traces)
+        table[rob] = {
+            "hermes": geomean_speedup(run_config_over_suite(
+                SystemConfig.with_hermes("popet").with_rob_size(rob), traces), baseline),
+            "pythia": geomean_speedup(run_config_over_suite(
+                SystemConfig.baseline("pythia").with_rob_size(rob), traces), baseline),
+            "pythia+hermes": geomean_speedup(run_config_over_suite(
+                SystemConfig.with_hermes("popet", prefetcher="pythia").with_rob_size(rob),
+                traces), baseline),
+        }
+    return table
+
+
+def run_fig20_llc_size_sensitivity(setup: Optional[ExperimentSetup] = None,
+                                   llc_sizes_mb: Sequence[float] = (3, 6, 12),
+                                   ) -> Dict[float, Dict[str, float]]:
+    """Speedup sensitivity to the per-core LLC size (Fig. 20)."""
+    setup = setup or ExperimentSetup()
+    table: Dict[float, Dict[str, float]] = {}
+    for size_mb in llc_sizes_mb:
+        traces = setup.build_suite()
+        baseline = run_config_over_suite(
+            SystemConfig.no_prefetching().with_llc_size_mb(size_mb), traces)
+        table[size_mb] = {
+            "hermes": geomean_speedup(run_config_over_suite(
+                SystemConfig.with_hermes("popet").with_llc_size_mb(size_mb), traces),
+                baseline),
+            "pythia": geomean_speedup(run_config_over_suite(
+                SystemConfig.baseline("pythia").with_llc_size_mb(size_mb), traces),
+                baseline),
+            "pythia+hermes": geomean_speedup(run_config_over_suite(
+                SystemConfig.with_hermes("popet", prefetcher="pythia")
+                .with_llc_size_mb(size_mb), traces), baseline),
+        }
+    return table

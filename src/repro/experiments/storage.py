@@ -1,0 +1,26 @@
+"""Storage-overhead accounting (Tables 3 and 6 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.offchip.factory import make_predictor
+from repro.offchip.popet import POPET
+from repro.prefetchers.factory import make_prefetcher
+
+
+def run_table3_storage() -> Dict[str, float]:
+    """Hermes storage breakdown in KB (paper Table 3: 4 KB total per core)."""
+    popet = POPET()
+    return popet.storage_breakdown()
+
+
+def run_table6_storage() -> Dict[str, float]:
+    """Storage (KB) of every evaluated mechanism (paper Table 6)."""
+    table: Dict[str, float] = {}
+    for name in ("hmp", "ttp"):
+        table[name.upper()] = make_predictor(name).storage_kb
+    for name in ("pythia", "bingo", "spp", "mlop", "sms"):
+        table[name] = make_prefetcher(name).storage_kb
+    table["Hermes (POPET)"] = POPET().storage_kb
+    return table

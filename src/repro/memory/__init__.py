@@ -1,0 +1,53 @@
+"""On-chip memory hierarchy substrate.
+
+This package implements the cache-side substrate the Hermes paper depends
+on: address manipulation helpers, replacement policies, a set-associative
+cache model with MSHRs, and a multi-level (L1D/L2/LLC) hierarchy with the
+access latencies of the paper's Alder Lake-like baseline (Table 4).
+"""
+
+from repro.memory.address import (
+    BLOCK_SIZE,
+    PAGE_SIZE,
+    block_address,
+    block_offset,
+    byte_offset,
+    cacheline_offset_in_page,
+    fold_xor,
+    page_number,
+    word_offset,
+)
+from repro.memory.cache import Cache, CacheConfig, AccessResult
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig, LoadOutcome
+from repro.memory.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+    make_replacement_policy,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "PAGE_SIZE",
+    "block_address",
+    "block_offset",
+    "byte_offset",
+    "cacheline_offset_in_page",
+    "fold_xor",
+    "page_number",
+    "word_offset",
+    "Cache",
+    "CacheConfig",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "LoadOutcome",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "SHiPPolicy",
+    "make_replacement_policy",
+]

@@ -1,0 +1,100 @@
+"""Address manipulation helpers shared across the simulator.
+
+The Hermes paper (and ChampSim, its substrate) uses 64-byte cachelines and
+4 KB pages.  POPET's program features are built from pieces of the load
+address (byte offset, word offset, cacheline offset within the page, page
+number), so these helpers are used both by the cache substrate and by the
+off-chip predictor.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 64
+"""Cacheline size in bytes."""
+
+BLOCK_BITS = 6
+"""log2(BLOCK_SIZE)."""
+
+PAGE_SIZE = 4096
+"""Virtual/physical page size in bytes."""
+
+PAGE_BITS = 12
+"""log2(PAGE_SIZE)."""
+
+WORD_SIZE = 8
+"""Word size in bytes (used for the word-offset POPET feature)."""
+
+LINES_PER_PAGE = PAGE_SIZE // BLOCK_SIZE
+"""Number of cachelines in one page (64)."""
+
+
+def block_address(address: int) -> int:
+    """Return the cacheline-aligned address (byte address of the line)."""
+    return address & ~(BLOCK_SIZE - 1)
+
+
+def block_number(address: int) -> int:
+    """Return the cacheline number (address >> 6)."""
+    return address >> BLOCK_BITS
+
+
+def block_offset(address: int) -> int:
+    """Return the byte offset of ``address`` within its cacheline."""
+    return address & (BLOCK_SIZE - 1)
+
+
+def byte_offset(address: int) -> int:
+    """Alias of :func:`block_offset`; named after the POPET feature."""
+    return address & (BLOCK_SIZE - 1)
+
+
+def word_offset(address: int) -> int:
+    """Return the word (8-byte) offset of ``address`` within its cacheline."""
+    return (address & (BLOCK_SIZE - 1)) >> 3
+
+
+def page_number(address: int) -> int:
+    """Return the virtual/physical page number of ``address``."""
+    return address >> PAGE_BITS
+
+
+def page_offset(address: int) -> int:
+    """Return the byte offset of ``address`` within its page."""
+    return address & (PAGE_SIZE - 1)
+
+
+def cacheline_offset_in_page(address: int) -> int:
+    """Return the cacheline index of ``address`` within its page (0..63)."""
+    return (address & (PAGE_SIZE - 1)) >> BLOCK_BITS
+
+
+def fold_xor(value: int, bits: int) -> int:
+    """Fold ``value`` down to ``bits`` bits by repeated XOR.
+
+    This is the standard "folded XOR" hash used by hashed-perceptron
+    structures (and by ChampSim's Hermes implementation) to index small
+    weight tables with arbitrarily wide feature values.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    mask = (1 << bits) - 1
+    value &= (1 << 64) - 1
+    result = 0
+    while value:
+        result ^= value & mask
+        value >>= bits
+    return result
+
+
+def hash_index(value: int, table_size: int) -> int:
+    """Hash ``value`` into an index for a table of ``table_size`` entries.
+
+    ``table_size`` must be a power of two; the hash is a folded XOR over
+    log2(table_size) bits.
+    """
+    if table_size <= 0 or table_size & (table_size - 1):
+        raise ValueError("table_size must be a positive power of two")
+    bits = table_size.bit_length() - 1
+    if bits == 0:
+        return 0
+    return fold_xor(value, bits)

@@ -1,0 +1,278 @@
+"""Set-associative cache model with MSHR-based miss merging.
+
+Each :class:`Cache` models one level of the on-chip hierarchy: a tag store
+organised as sets x ways, a pluggable replacement policy, a fixed access
+(round-trip) latency, and a set of MSHRs used to merge requests to a block
+that already has an outstanding miss.
+
+The model is *latency-returning*: an access does not schedule events, it
+returns whether the block hit and lets the :class:`~repro.memory.hierarchy.
+CacheHierarchy` compose per-level latencies and the DRAM model into the
+final load latency.  MSHR merging is modelled by remembering, per block,
+the cycle at which an outstanding fill will complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.address import BLOCK_BITS, BLOCK_SIZE
+from repro.memory.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass
+class CacheConfig:
+    """Configuration of a single cache level.
+
+    Sizes follow the paper's Table 4 defaults (see
+    :mod:`repro.sim.config` for the full-system defaults).
+    """
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    mshrs: int = 16
+    replacement: str = "lru"
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (BLOCK_SIZE * self.ways)
+        if sets <= 0:
+            raise ValueError(f"cache {self.name}: size too small for {self.ways} ways")
+        return sets
+
+    def validate(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0:
+            raise ValueError(f"cache {self.name}: size and ways must be positive")
+        if self.size_bytes % (BLOCK_SIZE * self.ways) != 0:
+            raise ValueError(
+                f"cache {self.name}: size {self.size_bytes} not divisible by "
+                f"{BLOCK_SIZE * self.ways}"
+            )
+        if self.latency < 0:
+            raise ValueError(f"cache {self.name}: latency must be non-negative")
+
+
+@dataclass
+class AccessResult:
+    """Result of a single cache-level access."""
+
+    hit: bool
+    latency: int
+    evicted_block: Optional[int] = None
+    was_prefetched: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Per-level access statistics."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+    useful_prefetches: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    mshr_merges: int = 0
+
+    @property
+    def demand_hit_rate(self) -> float:
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "demand_accesses": self.demand_accesses,
+            "demand_hits": self.demand_hits,
+            "demand_misses": self.demand_misses,
+            "demand_hit_rate": self.demand_hit_rate,
+            "prefetch_fills": self.prefetch_fills,
+            "useful_prefetches": self.useful_prefetches,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "mshr_merges": self.mshr_merges,
+        }
+
+
+class Cache:
+    """One level of a set-associative cache hierarchy."""
+
+    def __init__(self, config: CacheConfig,
+                 replacement: Optional[ReplacementPolicy] = None) -> None:
+        config.validate()
+        self.config = config
+        self.num_sets = config.num_sets
+        self.num_ways = config.ways
+        self.latency = config.latency
+        self._set_mask = self.num_sets - 1
+        self._use_mask = (self.num_sets & (self.num_sets - 1)) == 0
+        self.replacement = replacement or make_replacement_policy(
+            config.replacement, self.num_sets, self.num_ways)
+        # Tag store: per-set dict mapping block number -> way, plus per-way
+        # metadata arrays.
+        self._lookup: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tags: List[List[int]] = [[-1] * self.num_ways for _ in range(self.num_sets)]
+        self._valid: List[List[bool]] = [[False] * self.num_ways for _ in range(self.num_sets)]
+        self._dirty: List[List[bool]] = [[False] * self.num_ways for _ in range(self.num_sets)]
+        self._prefetched: List[List[bool]] = [[False] * self.num_ways
+                                              for _ in range(self.num_sets)]
+        self._reused: List[List[bool]] = [[False] * self.num_ways for _ in range(self.num_sets)]
+        # Outstanding misses (MSHRs): block number -> fill-ready cycle.
+        self._mshr: Dict[int, int] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Addressing helpers
+    # ------------------------------------------------------------------ #
+
+    def set_index(self, block: int) -> int:
+        if self._use_mask:
+            return block & self._set_mask
+        return block % self.num_sets
+
+    @staticmethod
+    def block_of(address: int) -> int:
+        return address >> BLOCK_BITS
+
+    # ------------------------------------------------------------------ #
+    # Lookup / fill
+    # ------------------------------------------------------------------ #
+
+    def probe(self, address: int) -> bool:
+        """Return True if ``address``'s block is present (no state change)."""
+        block = self.block_of(address)
+        return block in self._lookup[self.set_index(block)]
+
+    def access(self, address: int, pc: int, is_write: bool = False) -> AccessResult:
+        """Perform a demand access; updates replacement state and stats."""
+        block = self.block_of(address)
+        set_index = self.set_index(block)
+        self.stats.demand_accesses += 1
+        way = self._lookup[set_index].get(block)
+        if way is not None:
+            self.stats.demand_hits += 1
+            if self._prefetched[set_index][way] and not self._reused[set_index][way]:
+                self.stats.useful_prefetches += 1
+            self._reused[set_index][way] = True
+            if is_write:
+                self._dirty[set_index][way] = True
+            self.replacement.on_hit(set_index, way, pc, address)
+            return AccessResult(hit=True, latency=self.latency,
+                                was_prefetched=self._prefetched[set_index][way])
+        self.stats.demand_misses += 1
+        return AccessResult(hit=False, latency=self.latency)
+
+    def fill(self, address: int, pc: int, is_prefetch: bool = False,
+             dirty: bool = False) -> Optional[int]:
+        """Fill ``address``'s block, returning the evicted dirty block (if any).
+
+        Returns the *byte address* of an evicted dirty block that must be
+        written back to the next level, or ``None``.
+        """
+        block = self.block_of(address)
+        set_index = self.set_index(block)
+        if block in self._lookup[set_index]:
+            # Already present (e.g. a prefetch raced with a demand fill).
+            way = self._lookup[set_index][block]
+            if dirty:
+                self._dirty[set_index][way] = True
+            return None
+        victim_way = self.replacement.victim(set_index, self._valid[set_index])
+        writeback: Optional[int] = None
+        if self._valid[set_index][victim_way]:
+            old_block = self._tags[set_index][victim_way]
+            self.replacement.on_eviction(set_index, victim_way,
+                                         old_block << BLOCK_BITS,
+                                         self._reused[set_index][victim_way])
+            del self._lookup[set_index][old_block]
+            self.stats.evictions += 1
+            if self._dirty[set_index][victim_way]:
+                self.stats.writebacks += 1
+                writeback = old_block << BLOCK_BITS
+        self._tags[set_index][victim_way] = block
+        self._valid[set_index][victim_way] = True
+        self._dirty[set_index][victim_way] = dirty
+        self._prefetched[set_index][victim_way] = is_prefetch
+        self._reused[set_index][victim_way] = False
+        self._lookup[set_index][block] = victim_way
+        if is_prefetch:
+            self.stats.prefetch_fills += 1
+        self.replacement.on_fill(set_index, victim_way, pc, address, is_prefetch)
+        return writeback
+
+    def invalidate(self, address: int) -> bool:
+        """Invalidate the block holding ``address``; return True if present."""
+        block = self.block_of(address)
+        set_index = self.set_index(block)
+        way = self._lookup[set_index].get(block)
+        if way is None:
+            return False
+        del self._lookup[set_index][block]
+        self._valid[set_index][way] = False
+        self._dirty[set_index][way] = False
+        self._tags[set_index][way] = -1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # MSHR handling
+    # ------------------------------------------------------------------ #
+
+    def outstanding_miss(self, address: int, cycle: int) -> Optional[int]:
+        """Return the fill-ready cycle of an outstanding miss to this block.
+
+        Returns ``None`` when there is no outstanding miss (or the previous
+        one already completed before ``cycle``).
+        """
+        block = self.block_of(address)
+        ready = self._mshr.get(block)
+        if ready is None:
+            return None
+        if ready <= cycle:
+            del self._mshr[block]
+            return None
+        self.stats.mshr_merges += 1
+        return ready
+
+    def outstanding_miss_probe(self, address: int, cycle: int) -> bool:
+        """Return True if a miss to this block is still outstanding (no state change)."""
+        ready = self._mshr.get(self.block_of(address))
+        return ready is not None and ready > cycle
+
+    def record_miss(self, address: int, ready_cycle: int) -> None:
+        """Record an outstanding miss to ``address`` completing at ``ready_cycle``."""
+        block = self.block_of(address)
+        current = self._mshr.get(block)
+        if current is None or ready_cycle < current:
+            self._mshr[block] = ready_cycle
+        if len(self._mshr) > 4 * max(self.config.mshrs, 64):
+            self._prune_mshrs(ready_cycle)
+
+    def _prune_mshrs(self, cycle: int) -> None:
+        stale = [block for block, ready in self._mshr.items() if ready <= cycle]
+        for block in stale:
+            del self._mshr[block]
+
+    def mshr_occupancy(self, cycle: int) -> int:
+        """Number of misses still outstanding at ``cycle``."""
+        return sum(1 for ready in self._mshr.values() if ready > cycle)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def resident_blocks(self) -> int:
+        """Number of valid blocks currently resident."""
+        return sum(len(index) for index in self._lookup)
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.num_ways
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Cache({self.config.name}, {self.config.size_bytes >> 10}KB, "
+                f"{self.num_ways}-way, {self.latency}cyc)")

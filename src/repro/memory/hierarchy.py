@@ -1,0 +1,326 @@
+"""Multi-level on-chip cache hierarchy (L1D -> L2 -> LLC -> main memory).
+
+The hierarchy composes three :class:`~repro.memory.cache.Cache` levels, a
+:class:`~repro.dram.controller.MemoryController`, and an optional LLC
+prefetcher.  It exposes a latency-returning ``load``/``store`` interface to
+the core model and implements the Hermes waiting semantics: a load that is
+passed an in-flight ``hermes_ready`` cycle and misses the LLC completes at
+``max(time it reaches the memory controller, hermes_ready)`` instead of
+paying a fresh DRAM access (Section 6.2.1 of the paper).
+
+The per-level access latencies are *round-trip* latencies as in the
+paper's Table 4 (L1 5, L2 15, LLC 55 cycles), so the latency of an
+off-chip load in the baseline is ``LLC latency + DRAM latency`` and the
+part Hermes can hide is everything after the L1/TLB access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.dram import DRAMConfig, MemoryController, RequestSource
+from repro.memory.cache import Cache, CacheConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.prefetchers.base import Prefetcher
+
+
+@dataclass
+class HierarchyConfig:
+    """Cache hierarchy configuration (paper Table 4 defaults)."""
+
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L1D", size_bytes=48 * 1024, ways=12, latency=5, mshrs=16))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L2", size_bytes=1280 * 1024, ways=20, latency=15, mshrs=48))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="LLC", size_bytes=3 * 1024 * 1024, ways=12, latency=55,
+        mshrs=64, replacement="ship"))
+
+    def validate(self) -> None:
+        self.l1d.validate()
+        self.l2.validate()
+        self.llc.validate()
+
+    @property
+    def onchip_miss_latency(self) -> int:
+        """Cycles spent traversing the full hierarchy to discover an LLC miss."""
+        return self.l1d.latency + self.l2.latency + self.llc.latency
+
+    @property
+    def post_l1_latency(self) -> int:
+        """The L2 + LLC portion that Hermes hides for a correct prediction."""
+        return self.l2.latency + self.llc.latency
+
+
+@dataclass
+class LoadOutcome:
+    """Result of one demand load through the hierarchy."""
+
+    address: int
+    pc: int
+    issue_cycle: int
+    completion_cycle: int
+    served_by: str
+    went_offchip: bool
+    onchip_latency: int
+    hermes_used: bool = False
+
+    @property
+    def latency(self) -> int:
+        return self.completion_cycle - self.issue_cycle
+
+
+@dataclass
+class HierarchyStats:
+    """Hierarchy-level counters used by the analysis module."""
+
+    loads: int = 0
+    stores: int = 0
+    offchip_loads: int = 0
+    llc_misses: int = 0
+    llc_prefetch_issued: int = 0
+    llc_prefetch_late: int = 0
+    hermes_waits: int = 0
+    total_load_latency: int = 0
+    total_offchip_latency: int = 0
+    total_offchip_onchip_latency: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "offchip_loads": self.offchip_loads,
+            "llc_misses": self.llc_misses,
+            "llc_prefetch_issued": self.llc_prefetch_issued,
+            "llc_prefetch_late": self.llc_prefetch_late,
+            "hermes_waits": self.hermes_waits,
+            "total_load_latency": self.total_load_latency,
+            "total_offchip_latency": self.total_offchip_latency,
+            "total_offchip_onchip_latency": self.total_offchip_onchip_latency,
+        }
+
+
+class CacheHierarchy:
+    """L1D/L2/LLC hierarchy in front of a main-memory controller.
+
+    For multi-core simulations the LLC and the memory controller may be
+    shared: pass existing ``llc`` / ``memory_controller`` objects and every
+    per-core hierarchy will route its misses through them.
+    """
+
+    def __init__(self,
+                 config: Optional[HierarchyConfig] = None,
+                 dram_config: Optional[DRAMConfig] = None,
+                 prefetcher: Optional["Prefetcher"] = None,
+                 llc: Optional[Cache] = None,
+                 memory_controller: Optional[MemoryController] = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.config.validate()
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.llc = llc if llc is not None else Cache(self.config.llc)
+        self.memory_controller = (memory_controller if memory_controller is not None
+                                  else MemoryController(dram_config or DRAMConfig()))
+        self.prefetcher = prefetcher
+        self.stats = HierarchyStats()
+        # Prefetches whose data is still in flight: block -> ready cycle.
+        self._pending_prefetch: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+
+    def load(self, address: int, pc: int, cycle: int,
+             hermes_ready: Optional[int] = None) -> LoadOutcome:
+        """Perform a demand load, returning its timing and off-chip outcome."""
+        self.stats.loads += 1
+        outcome = self._access(address, pc, cycle, is_write=False,
+                               hermes_ready=hermes_ready)
+        self.stats.total_load_latency += outcome.latency
+        if outcome.went_offchip:
+            self.stats.offchip_loads += 1
+            self.stats.total_offchip_latency += outcome.latency
+            self.stats.total_offchip_onchip_latency += outcome.onchip_latency
+        return outcome
+
+    def store(self, address: int, pc: int, cycle: int) -> LoadOutcome:
+        """Perform a demand store (write-allocate; latency is off the critical path)."""
+        self.stats.stores += 1
+        return self._access(address, pc, cycle, is_write=True, hermes_ready=None)
+
+    def would_go_offchip(self, address: int, cycle: int) -> bool:
+        """Oracle probe: would a load to ``address`` issued now miss the LLC?
+
+        Used by the Ideal-Hermes predictor and by tests.  Does not change
+        any cache or DRAM state.
+        """
+        block = Cache.block_of(address)
+        if self.l1d.probe(address) or self.l2.probe(address) or self.llc.probe(address):
+            return False
+        ready = self._pending_prefetch.get(block)
+        if ready is not None and ready <= cycle:
+            return False
+        if self.l1d.outstanding_miss_probe(address, cycle):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Internal access machinery
+    # ------------------------------------------------------------------ #
+
+    def _access(self, address: int, pc: int, cycle: int, is_write: bool,
+                hermes_ready: Optional[int]) -> LoadOutcome:
+        # --- L1D ---
+        l1_result = self.l1d.access(address, pc, is_write=is_write)
+        if l1_result.hit:
+            # The tag may be present while the data is still in flight (the
+            # fill of an earlier miss to the same block): merge with that
+            # outstanding miss instead of returning an instant hit.
+            l1_ready = self.l1d.outstanding_miss(address, cycle)
+            if l1_ready is not None and l1_ready > cycle + l1_result.latency:
+                return LoadOutcome(address, pc, cycle, l1_ready,
+                                   served_by="MSHR", went_offchip=False,
+                                   onchip_latency=l1_result.latency)
+            return LoadOutcome(address, pc, cycle, cycle + l1_result.latency,
+                               served_by="L1D", went_offchip=False,
+                               onchip_latency=l1_result.latency)
+        l1_ready = self.l1d.outstanding_miss(address, cycle)
+        if l1_ready is not None:
+            # Merge with an outstanding miss to the same block.
+            completion = max(l1_ready, cycle + self.l1d.latency)
+            return LoadOutcome(address, pc, cycle, completion,
+                               served_by="MSHR", went_offchip=False,
+                               onchip_latency=self.l1d.latency)
+
+        # --- L2 ---
+        l2_cycle = cycle + self.l1d.latency
+        l2_result = self.l2.access(address, pc, is_write=False)
+        if l2_result.hit:
+            onchip = self.l1d.latency + self.l2.latency
+            completion = cycle + onchip
+            self._fill_l1(address, pc, completion, is_write)
+            return LoadOutcome(address, pc, cycle, completion,
+                               served_by="L2", went_offchip=False,
+                               onchip_latency=onchip)
+
+        # --- LLC ---
+        llc_cycle = l2_cycle + self.l2.latency
+        llc_result = self.llc.access(address, pc, is_write=False)
+        onchip = self.l1d.latency + self.l2.latency + self.llc.latency
+        block = Cache.block_of(address)
+        prefetch_wait = 0
+        if llc_result.hit:
+            ready = self._pending_prefetch.pop(block, None)
+            if ready is not None and ready > cycle + onchip:
+                # Late prefetch: the data is still in flight from DRAM.
+                prefetch_wait = ready - (cycle + onchip)
+                self.stats.llc_prefetch_late += 1
+            completion = cycle + onchip + prefetch_wait
+            self._train_prefetcher(address, pc, llc_cycle, hit=True)
+            self._fill_l2_l1(address, pc, completion, is_write)
+            return LoadOutcome(address, pc, cycle, completion,
+                               served_by="LLC", went_offchip=False,
+                               onchip_latency=onchip)
+
+        # --- Off-chip ---
+        self.stats.llc_misses += 1
+        self._train_prefetcher(address, pc, llc_cycle, hit=False)
+        arrival = cycle + onchip
+        hermes_used = False
+        if hermes_ready is not None:
+            # The regular request finds the in-flight Hermes request in the
+            # memory controller's read queue and waits for it.
+            inflight = self.memory_controller.lookup_inflight(address, arrival)
+            wait_until = inflight if inflight is not None else hermes_ready
+            completion = max(arrival, wait_until)
+            self.memory_controller.claim_hermes(address)
+            self.stats.hermes_waits += 1
+            hermes_used = True
+        else:
+            inflight = self.memory_controller.lookup_inflight(address, arrival)
+            if inflight is not None:
+                completion = max(arrival, inflight)
+                self.memory_controller.stats.merged_requests += 1
+            else:
+                request = self.memory_controller.access(address, arrival,
+                                                        RequestSource.DEMAND)
+                completion = request.ready_cycle
+        self.llc.record_miss(address, completion)
+        self.l1d.record_miss(address, completion)
+        self._fill_all(address, pc, completion, is_write)
+        return LoadOutcome(address, pc, cycle, completion,
+                           served_by="DRAM", went_offchip=True,
+                           onchip_latency=onchip, hermes_used=hermes_used)
+
+    # ------------------------------------------------------------------ #
+    # Fills
+    # ------------------------------------------------------------------ #
+
+    def _fill_l1(self, address: int, pc: int, cycle: int, dirty: bool) -> None:
+        writeback = self.l1d.fill(address, pc, dirty=dirty)
+        if writeback is not None:
+            self.l2.fill(writeback, pc, dirty=True)
+
+    def _fill_l2_l1(self, address: int, pc: int, cycle: int, dirty: bool) -> None:
+        writeback = self.l2.fill(address, pc)
+        if writeback is not None:
+            self.llc.fill(writeback, pc, dirty=True)
+        self._fill_l1(address, pc, cycle, dirty)
+
+    def _fill_all(self, address: int, pc: int, cycle: int, dirty: bool) -> None:
+        writeback = self.llc.fill(address, pc)
+        if writeback is not None:
+            self.memory_controller.stats.writeback_requests += 1
+        self._fill_l2_l1(address, pc, cycle, dirty)
+
+    # ------------------------------------------------------------------ #
+    # Prefetching
+    # ------------------------------------------------------------------ #
+
+    def _train_prefetcher(self, address: int, pc: int, cycle: int, hit: bool) -> None:
+        if self.prefetcher is None:
+            return
+        candidates = self.prefetcher.on_demand_access(address, pc, cycle, hit)
+        if not candidates:
+            return
+        for prefetch_address in candidates:
+            self._issue_prefetch(prefetch_address, pc, cycle)
+
+    def _issue_prefetch(self, address: int, pc: int, cycle: int) -> None:
+        if address < 0:
+            return
+        if self.llc.probe(address):
+            return
+        block = Cache.block_of(address)
+        if block in self._pending_prefetch and self._pending_prefetch[block] > cycle:
+            return
+        if self.memory_controller.lookup_inflight(address, cycle) is not None:
+            return
+        request = self.memory_controller.access(address, cycle, RequestSource.PREFETCH)
+        self.stats.llc_prefetch_issued += 1
+        self.llc.fill(address, pc, is_prefetch=True)
+        self._pending_prefetch[block] = request.ready_cycle
+        if len(self._pending_prefetch) > 4096:
+            self._prune_pending(cycle)
+
+    def _prune_pending(self, cycle: int) -> None:
+        stale = [block for block, ready in self._pending_prefetch.items()
+                 if ready <= cycle]
+        for block in stale:
+            del self._pending_prefetch[block]
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def onchip_miss_latency(self) -> int:
+        return self.config.onchip_miss_latency
+
+    def llc_mpki(self, instructions: int) -> float:
+        """LLC misses per kilo instructions."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.stats.llc_misses / instructions

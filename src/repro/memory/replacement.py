@@ -1,0 +1,216 @@
+"""Cache replacement policies.
+
+The paper's LLC uses SHiP [Wu+, MICRO'11]; L1/L2 use LRU (Table 4).  We
+implement LRU, SRRIP, SHiP and Random behind a common interface so any
+cache level can be configured with any policy, and so the ablation
+benchmarks can swap the LLC policy.
+
+A policy instance manages *one cache* (all of its sets).  The cache calls
+``on_fill``, ``on_hit`` and ``victim`` with (set_index, way, pc, address)
+so policies that learn from program behaviour (SHiP) have what they need.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Abstract replacement policy for a set-associative cache."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError("num_sets and num_ways must be positive")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    @abstractmethod
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        """Return the way to evict in ``set_index``.
+
+        ``valid`` is the per-way valid bit list; policies should prefer an
+        invalid way when one exists.
+        """
+
+    @abstractmethod
+    def on_fill(self, set_index: int, way: int, pc: int, address: int,
+                is_prefetch: bool = False) -> None:
+        """Notify that ``way`` of ``set_index`` was filled."""
+
+    @abstractmethod
+    def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
+        """Notify of a demand hit on ``way`` of ``set_index``."""
+
+    def on_eviction(self, set_index: int, way: int, address: int,
+                    was_reused: bool) -> None:
+        """Notify that ``way`` of ``set_index`` was evicted (optional hook)."""
+
+    def _first_invalid(self, valid: List[bool]) -> Optional[int]:
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        return None
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used replacement."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        # Higher value == more recently used.
+        self._age = [[0] * num_ways for _ in range(num_sets)]
+        self._clock = [0] * num_sets
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock[set_index] += 1
+        self._age[set_index][way] = self._clock[set_index]
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        ages = self._age[set_index]
+        return min(range(self.num_ways), key=ages.__getitem__)
+
+    def on_fill(self, set_index: int, way: int, pc: int, address: int,
+                is_prefetch: bool = False) -> None:
+        self._touch(set_index, way)
+
+    def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
+        self._touch(set_index, way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement (useful as a lower bound and in property tests)."""
+
+    def __init__(self, num_sets: int, num_ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, num_ways)
+        self._rng = random.Random(seed)
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        return self._rng.randrange(self.num_ways)
+
+    def on_fill(self, set_index: int, way: int, pc: int, address: int,
+                is_prefetch: bool = False) -> None:
+        return None
+
+    def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
+        return None
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction (SRRIP) [Jaleel+, ISCA'10]."""
+
+    MAX_RRPV = 3
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._rrpv = [[self.MAX_RRPV] * num_ways for _ in range(num_sets)]
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way in range(self.num_ways):
+                if rrpvs[way] >= self.MAX_RRPV:
+                    return way
+            for way in range(self.num_ways):
+                rrpvs[way] += 1
+
+    def on_fill(self, set_index: int, way: int, pc: int, address: int,
+                is_prefetch: bool = False) -> None:
+        # Long re-reference interval on insertion; prefetches inserted with
+        # distant RRPV so inaccurate prefetches are evicted first.
+        self._rrpv[set_index][way] = self.MAX_RRPV - 1 if not is_prefetch else self.MAX_RRPV
+
+    def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+
+class SHiPPolicy(ReplacementPolicy):
+    """Signature-based hit predictor (SHiP) replacement [Wu+, MICRO'11].
+
+    SHiP keeps a table of 2-bit counters indexed by a hash of the filling
+    PC ("signature").  Lines filled by PCs whose past fills were never
+    reused are inserted with a distant re-reference prediction so they are
+    evicted quickly; lines from reused signatures are inserted closer.
+    This is the paper's baseline LLC policy (Table 4).
+    """
+
+    MAX_RRPV = 3
+    SHCT_SIZE = 16384
+    SHCT_MAX = 3
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._rrpv = [[self.MAX_RRPV] * num_ways for _ in range(num_sets)]
+        self._signature = [[0] * num_ways for _ in range(num_sets)]
+        self._reused = [[False] * num_ways for _ in range(num_sets)]
+        self._shct = [1] * self.SHCT_SIZE
+
+    @staticmethod
+    def _sig(pc: int) -> int:
+        return (pc ^ (pc >> 14)) & (SHiPPolicy.SHCT_SIZE - 1)
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way in range(self.num_ways):
+                if rrpvs[way] >= self.MAX_RRPV:
+                    return way
+            for way in range(self.num_ways):
+                rrpvs[way] += 1
+
+    def on_fill(self, set_index: int, way: int, pc: int, address: int,
+                is_prefetch: bool = False) -> None:
+        sig = self._sig(pc)
+        self._signature[set_index][way] = sig
+        self._reused[set_index][way] = False
+        if self._shct[sig] == 0:
+            self._rrpv[set_index][way] = self.MAX_RRPV
+        else:
+            self._rrpv[set_index][way] = self.MAX_RRPV - 1
+
+    def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
+        self._rrpv[set_index][way] = 0
+        if not self._reused[set_index][way]:
+            self._reused[set_index][way] = True
+            sig = self._signature[set_index][way]
+            if self._shct[sig] < self.SHCT_MAX:
+                self._shct[sig] += 1
+
+    def on_eviction(self, set_index: int, way: int, address: int,
+                    was_reused: bool) -> None:
+        sig = self._signature[set_index][way]
+        if not self._reused[set_index][way]:
+            if self._shct[sig] > 0:
+                self._shct[sig] -= 1
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "ship": SHiPPolicy,
+}
+
+
+def make_replacement_policy(name: str, num_sets: int, num_ways: int) -> ReplacementPolicy:
+    """Create a replacement policy by name (``lru``/``random``/``srrip``/``ship``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from exc
+    return cls(num_sets, num_ways)

@@ -1,0 +1,54 @@
+"""Off-chip load prediction (the paper's core contribution).
+
+This package contains:
+
+* :class:`~repro.offchip.base.OffChipPredictor` — the common interface:
+  ``predict()`` at load-queue allocation time, ``train()`` when the load
+  returns to the core, with accuracy/coverage accounting built in
+  (Equations 3 and 4 of the paper).
+* :class:`~repro.offchip.popet.POPET` — the perceptron-based off-chip
+  predictor (Section 6.1), including the page buffer, the five selected
+  program features of Table 2, the full 16-feature candidate set of
+  Table 1, and the Table 3 storage accounting.
+* :class:`~repro.offchip.hmp.HMPPredictor` — the hit/miss predictor of
+  Yoaz et al. (local + gshare + gskew majority), the paper's prior-work
+  comparison point.
+* :class:`~repro.offchip.ttp.TTPPredictor` — the address-tag-tracking
+  predictor the paper designs as a second comparison point.
+* :class:`~repro.offchip.ideal.IdealPredictor` — the oracle used for the
+  Ideal Hermes studies (Section 3.1).
+"""
+
+from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.features import (
+    FEATURE_NAMES,
+    FeatureExtractor,
+    PageBuffer,
+    SELECTED_FEATURES,
+)
+from repro.offchip.popet import POPET, POPETConfig
+from repro.offchip.hmp import HMPPredictor
+from repro.offchip.ttp import TTPPredictor
+from repro.offchip.ideal import IdealPredictor
+from repro.offchip.simple import AlwaysOffChipPredictor, NeverOffChipPredictor, RandomPredictor
+from repro.offchip.factory import available_predictors, make_predictor
+
+__all__ = [
+    "LoadContext",
+    "OffChipPredictor",
+    "PredictionRecord",
+    "FeatureExtractor",
+    "PageBuffer",
+    "FEATURE_NAMES",
+    "SELECTED_FEATURES",
+    "POPET",
+    "POPETConfig",
+    "HMPPredictor",
+    "TTPPredictor",
+    "IdealPredictor",
+    "AlwaysOffChipPredictor",
+    "NeverOffChipPredictor",
+    "RandomPredictor",
+    "make_predictor",
+    "available_predictors",
+]

@@ -1,0 +1,137 @@
+"""Off-chip predictor interface and accuracy/coverage accounting.
+
+The simulator drives every predictor identically (mirroring steps 1 and 4
+of Fig. 6 in the paper):
+
+1. At load-queue allocation it calls :meth:`OffChipPredictor.predict`,
+   which returns a :class:`PredictionRecord` carrying the binary decision
+   and whatever per-load metadata the predictor wants back at training
+   time (POPET stores its hashed feature indices and the perceptron sum —
+   exactly the metadata the paper stores in the LQ entry).
+2. When the load returns to the core it calls
+   :meth:`OffChipPredictor.train` with the true outcome ("did the load
+   miss the LLC and go to the memory controller?").
+
+Accuracy and coverage follow the paper's Equations 3 and 4:
+``accuracy = TP / (TP + FP)`` and ``coverage = TP / (TP + FN)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class LoadContext:
+    """Program context available when a load is allocated in the load queue."""
+
+    pc: int
+    address: int
+    cycle: int = 0
+
+
+@dataclass
+class PredictionRecord:
+    """One prediction plus the metadata needed to train on it later."""
+
+    context: LoadContext
+    predicted_offchip: bool
+    metadata: Any = None
+
+
+@dataclass
+class PredictorStats:
+    """Confusion-matrix counters for off-chip prediction."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def predictions(self) -> int:
+        return (self.true_positives + self.false_positives
+                + self.true_negatives + self.false_negatives)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predicted off-chip loads that actually went off-chip."""
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of actual off-chip loads that were predicted off-chip."""
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    def record(self, predicted: bool, actual: bool) -> None:
+        if predicted and actual:
+            self.true_positives += 1
+        elif predicted and not actual:
+            self.false_positives += 1
+        elif not predicted and actual:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "true_negatives": self.true_negatives,
+            "false_negatives": self.false_negatives,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+        }
+
+
+class OffChipPredictor(ABC):
+    """Abstract base class for off-chip load predictors."""
+
+    #: Name used by the factory and the experiment tables.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    def predict(self, context: LoadContext) -> PredictionRecord:
+        """Predict whether the load described by ``context`` will go off-chip."""
+        predicted, metadata = self._predict(context)
+        return PredictionRecord(context=context, predicted_offchip=predicted,
+                                metadata=metadata)
+
+    def train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        """Train on the true outcome of a previously predicted load."""
+        self.stats.record(record.predicted_offchip, went_offchip)
+        self._train(record, went_offchip)
+
+    @abstractmethod
+    def _predict(self, context: LoadContext) -> tuple[bool, Any]:
+        """Return (predicted_offchip, metadata)."""
+
+    @abstractmethod
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        """Update internal state with the true outcome."""
+
+    def storage_bits(self) -> int:
+        """Metadata storage required by the predictor, in bits (Table 6)."""
+        return 0
+
+    @property
+    def storage_kb(self) -> float:
+        return self.storage_bits() / 8 / 1024
+
+    @property
+    def accuracy(self) -> float:
+        return self.stats.accuracy
+
+    @property
+    def coverage(self) -> float:
+        return self.stats.coverage

@@ -1,0 +1,42 @@
+"""Factory for constructing off-chip predictors by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.offchip.base import OffChipPredictor
+from repro.offchip.hmp import HMPPredictor
+from repro.offchip.ideal import IdealPredictor
+from repro.offchip.popet import POPET
+from repro.offchip.simple import (
+    AlwaysOffChipPredictor,
+    NeverOffChipPredictor,
+    RandomPredictor,
+)
+from repro.offchip.ttp import TTPPredictor
+
+_REGISTRY: Dict[str, Callable[[], OffChipPredictor]] = {
+    "popet": POPET,
+    "hmp": HMPPredictor,
+    "ttp": TTPPredictor,
+    "ideal": IdealPredictor,
+    "always": AlwaysOffChipPredictor,
+    "never": NeverOffChipPredictor,
+    "random": RandomPredictor,
+}
+
+
+def available_predictors() -> List[str]:
+    """Names accepted by :func:`make_predictor`."""
+    return sorted(_REGISTRY)
+
+
+def make_predictor(name: str) -> OffChipPredictor:
+    """Construct an off-chip predictor by name (``popet``/``hmp``/``ttp``/...)."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown off-chip predictor {name!r}; expected one of {available_predictors()}"
+        ) from exc
+    return factory()

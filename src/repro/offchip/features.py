@@ -1,0 +1,246 @@
+"""Program features used by POPET.
+
+Implements the page buffer (the "first access" hint of Section 6.1.3),
+the last-4 load-PC history, and the full initial feature set of Table 1
+so the automated-feature-selection experiments (Fig. 10 and 11) can build
+POPET variants from any subset of features.
+
+A *feature* maps a load's program context to an integer value that indexes
+one perceptron weight table.  Each feature also declares its weight-table
+size, matching Table 3 for the five selected features.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.memory.address import (
+    byte_offset,
+    cacheline_offset_in_page,
+    hash_index,
+    page_number,
+    word_offset,
+)
+
+
+class PageBuffer:
+    """64-entry buffer tracking recently demanded cachelines per virtual page.
+
+    Each entry holds a virtual page tag and a 64-bit bitmap with one bit
+    per cacheline in the page.  ``first_access`` returns True when the
+    cacheline has *not* been recently touched, and sets the bit (so the
+    lookup has the set-on-read behaviour described in the paper).
+    """
+
+    def __init__(self, entries: int = 64) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._buffer: "OrderedDict[int, int]" = OrderedDict()
+
+    def first_access(self, address: int) -> bool:
+        page = page_number(address)
+        line = cacheline_offset_in_page(address)
+        bitmap = self._buffer.get(page)
+        if bitmap is None:
+            if len(self._buffer) >= self.entries:
+                self._buffer.popitem(last=False)
+            self._buffer[page] = 1 << line
+            return True
+        self._buffer.move_to_end(page)
+        if bitmap & (1 << line):
+            return False
+        self._buffer[page] = bitmap | (1 << line)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def storage_bits(self) -> int:
+        # Table 3: 64 entries x 80 bits (page tag + 64-bit bitmap).
+        return self.entries * 80
+
+
+class LoadPCHistory:
+    """Shift register of the last N load PCs (default 4, per the paper)."""
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._pcs: List[int] = [0] * depth
+
+    def push(self, pc: int) -> None:
+        self._pcs.pop(0)
+        self._pcs.append(pc)
+
+    def shifted_xor(self) -> int:
+        """Shifted XOR of the recorded PCs (feature 15/16 of Table 1)."""
+        value = 0
+        for i, pc in enumerate(self._pcs):
+            value ^= pc << i
+        return value
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._pcs)
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """A named program feature and the size of its perceptron weight table."""
+
+    name: str
+    table_size: int
+    compute: Callable[["FeatureExtractor", int, int, bool], int]
+
+    def value(self, extractor: "FeatureExtractor", pc: int, address: int,
+              first_access: bool) -> int:
+        return self.compute(extractor, pc, address, first_access)
+
+    def index(self, extractor: "FeatureExtractor", pc: int, address: int,
+              first_access: bool) -> int:
+        return hash_index(self.value(extractor, pc, address, first_access),
+                          self.table_size)
+
+
+class FeatureExtractor:
+    """Shared feature-extraction state (page buffer + PC history).
+
+    One extractor instance is owned by one POPET instance; the simulator
+    never touches it directly.
+    """
+
+    def __init__(self, page_buffer_entries: int = 64, pc_history_depth: int = 4) -> None:
+        self.page_buffer = PageBuffer(page_buffer_entries)
+        self.pc_history = LoadPCHistory(pc_history_depth)
+
+    def observe(self, pc: int, address: int) -> bool:
+        """Update the shared state for a new load; returns the first-access hint."""
+        first_access = self.page_buffer.first_access(address)
+        self.pc_history.push(pc)
+        return first_access
+
+
+def _mix(*parts: int) -> int:
+    """Combine feature components into one integer without losing low bits."""
+    value = 0
+    for part in parts:
+        value = (value * 0x9E3779B1 + (part & 0xFFFFFFFFFFFF)) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# Feature definitions (Table 1 numbering in comments)
+# --------------------------------------------------------------------------- #
+
+def _f_load_vaddr(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return address >> 6                                          # 1
+
+
+def _f_vpage(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return page_number(address)                                   # 2
+
+
+def _f_cl_offset(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return cacheline_offset_in_page(address)                      # 3
+
+
+def _f_first_access(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return int(first)                                              # 4
+
+
+def _f_cl_offset_first(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return (cacheline_offset_in_page(address) << 1) | int(first)   # 5 (selected)
+
+
+def _f_byte_offset(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return byte_offset(address)                                    # 6
+
+
+def _f_word_offset(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return word_offset(address)                                    # 7
+
+
+def _f_pc(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return pc                                                      # 8
+
+
+def _f_pc_xor_vaddr(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return _mix(pc, address >> 6)                                  # 9
+
+
+def _f_pc_xor_vpage(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return _mix(pc, page_number(address))                          # 10
+
+
+def _f_pc_xor_cl_offset(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return _mix(pc, cacheline_offset_in_page(address))             # 11 (selected)
+
+
+def _f_pc_first(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return (pc << 1) | int(first)                                   # 12 (selected)
+
+
+def _f_pc_xor_byte_offset(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return _mix(pc, byte_offset(address))                           # 13 (selected)
+
+
+def _f_pc_xor_word_offset(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return _mix(pc, word_offset(address))                           # 14
+
+
+def _f_last4_load_pcs(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    return ext.pc_history.shifted_xor()                              # 15 (selected)
+
+
+def _f_last4_pcs(ext: FeatureExtractor, pc: int, address: int, first: bool) -> int:
+    # We only observe load PCs in the memory trace, so feature 16 aliases 15
+    # at a different table size (documented substitution).
+    return ext.pc_history.shifted_xor() ^ pc                        # 16
+
+
+#: All candidate features from Table 1, keyed by a short name.
+FEATURE_REGISTRY: Dict[str, FeatureSpec] = {
+    "load_vaddr": FeatureSpec("load_vaddr", 1024, _f_load_vaddr),
+    "vpage": FeatureSpec("vpage", 1024, _f_vpage),
+    "cl_offset": FeatureSpec("cl_offset", 128, _f_cl_offset),
+    "first_access": FeatureSpec("first_access", 2, _f_first_access),
+    "cl_offset_first_access": FeatureSpec("cl_offset_first_access", 128,
+                                          _f_cl_offset_first),
+    "byte_offset": FeatureSpec("byte_offset", 128, _f_byte_offset),
+    "word_offset": FeatureSpec("word_offset", 16, _f_word_offset),
+    "pc": FeatureSpec("pc", 1024, _f_pc),
+    "pc_xor_vaddr": FeatureSpec("pc_xor_vaddr", 1024, _f_pc_xor_vaddr),
+    "pc_xor_vpage": FeatureSpec("pc_xor_vpage", 1024, _f_pc_xor_vpage),
+    "pc_xor_cl_offset": FeatureSpec("pc_xor_cl_offset", 1024, _f_pc_xor_cl_offset),
+    "pc_first_access": FeatureSpec("pc_first_access", 1024, _f_pc_first),
+    "pc_xor_byte_offset": FeatureSpec("pc_xor_byte_offset", 1024, _f_pc_xor_byte_offset),
+    "pc_xor_word_offset": FeatureSpec("pc_xor_word_offset", 1024, _f_pc_xor_word_offset),
+    "last_4_load_pcs": FeatureSpec("last_4_load_pcs", 1024, _f_last4_load_pcs),
+    "last_4_pcs": FeatureSpec("last_4_pcs", 1024, _f_last4_pcs),
+}
+
+#: Names of every candidate feature (Table 1).
+FEATURE_NAMES: List[str] = list(FEATURE_REGISTRY)
+
+#: The five features selected by the paper's automated feature selection (Table 2).
+SELECTED_FEATURES: List[str] = [
+    "pc_xor_cl_offset",
+    "pc_xor_byte_offset",
+    "pc_first_access",
+    "cl_offset_first_access",
+    "last_4_load_pcs",
+]
+
+
+def get_feature(name: str) -> FeatureSpec:
+    """Look up a feature by name, raising a helpful error for typos."""
+    try:
+        return FEATURE_REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown feature {name!r}; expected one of {FEATURE_NAMES}"
+        ) from exc

@@ -1,0 +1,159 @@
+"""HMP: the hit/miss predictor of Yoaz et al. [ISCA'99], extended to
+predict whole-hierarchy (off-chip) misses as described in Section 4 of the
+Hermes paper.
+
+HMP is a hybrid of three history-based predictors, borrowed from branch
+prediction:
+
+* *local* — a per-PC table of local miss-history registers indexing a
+  table of saturating counters,
+* *gshare* — global miss history XORed with the PC indexing a counter
+  table,
+* *gskew*  — three counter tables indexed with different hash functions,
+  combined by majority.
+
+For a given load, each component produces a binary prediction and HMP
+takes the majority vote.  All components train on the true off-chip
+outcome.  Storage follows Table 6 (~11 KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+
+_COUNTER_MAX = 3
+_COUNTER_THRESHOLD = 2
+
+
+def _saturating_update(counter: int, taken: bool) -> int:
+    if taken:
+        return min(_COUNTER_MAX, counter + 1)
+    return max(0, counter - 1)
+
+
+class _LocalPredictor:
+    """Per-PC local-history predictor."""
+
+    def __init__(self, history_entries: int = 1024, history_bits: int = 8,
+                 counter_entries: int = 2048) -> None:
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.histories = [0] * history_entries
+        self.counters = [1] * counter_entries
+        self._history_entries = history_entries
+        self._counter_entries = counter_entries
+
+    def _history_index(self, pc: int) -> int:
+        return (pc ^ (pc >> 12)) % self._history_entries
+
+    def _counter_index(self, pc: int, history: int) -> int:
+        return ((pc << self.history_bits) ^ history) % self._counter_entries
+
+    def predict(self, pc: int) -> Tuple[bool, int]:
+        history = self.histories[self._history_index(pc)]
+        index = self._counter_index(pc, history)
+        return self.counters[index] >= _COUNTER_THRESHOLD, index
+
+    def train(self, pc: int, index: int, went_offchip: bool) -> None:
+        self.counters[index] = _saturating_update(self.counters[index], went_offchip)
+        history_index = self._history_index(pc)
+        history = self.histories[history_index]
+        self.histories[history_index] = ((history << 1) | int(went_offchip)) & self.history_mask
+
+    def storage_bits(self) -> int:
+        return self._history_entries * self.history_bits + self._counter_entries * 2
+
+
+class _GsharePredictor:
+    """Global-history-XOR-PC predictor."""
+
+    def __init__(self, counter_entries: int = 4096, history_bits: int = 12) -> None:
+        self.history = 0
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.counters = [1] * counter_entries
+        self._counter_entries = counter_entries
+
+    def predict(self, pc: int) -> Tuple[bool, int]:
+        index = ((pc >> 2) ^ self.history) % self._counter_entries
+        return self.counters[index] >= _COUNTER_THRESHOLD, index
+
+    def train(self, pc: int, index: int, went_offchip: bool) -> None:
+        self.counters[index] = _saturating_update(self.counters[index], went_offchip)
+        self.history = ((self.history << 1) | int(went_offchip)) & self.history_mask
+
+    def storage_bits(self) -> int:
+        return self._counter_entries * 2 + self.history_bits
+
+
+class _GskewPredictor:
+    """Three-table skewed predictor combined by majority."""
+
+    def __init__(self, counter_entries: int = 2048, history_bits: int = 12) -> None:
+        self.history = 0
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.tables: List[List[int]] = [[1] * counter_entries for _ in range(3)]
+        self._counter_entries = counter_entries
+
+    def _indices(self, pc: int) -> Tuple[int, int, int]:
+        merged = (pc >> 2) ^ (self.history << 3)
+        i0 = merged % self._counter_entries
+        i1 = ((merged * 0x9E3779B1) >> 5) % self._counter_entries
+        i2 = ((merged * 0x85EBCA6B) >> 7) % self._counter_entries
+        return i0, i1, i2
+
+    def predict(self, pc: int) -> Tuple[bool, Tuple[int, int, int]]:
+        indices = self._indices(pc)
+        votes = sum(1 for table, index in zip(self.tables, indices)
+                    if table[index] >= _COUNTER_THRESHOLD)
+        return votes >= 2, indices
+
+    def train(self, pc: int, indices: Tuple[int, int, int], went_offchip: bool) -> None:
+        for table, index in zip(self.tables, indices):
+            table[index] = _saturating_update(table[index], went_offchip)
+        self.history = ((self.history << 1) | int(went_offchip)) & self.history_mask
+
+    def storage_bits(self) -> int:
+        return 3 * self._counter_entries * 2 + self.history_bits
+
+
+@dataclass
+class _HMPMetadata:
+    local_index: int
+    gshare_index: int
+    gskew_indices: Tuple[int, int, int]
+
+
+class HMPPredictor(OffChipPredictor):
+    """Hybrid hit/miss predictor (local + gshare + gskew, majority vote)."""
+
+    name = "hmp"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.local = _LocalPredictor()
+        self.gshare = _GsharePredictor()
+        self.gskew = _GskewPredictor()
+
+    def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
+        local_vote, local_index = self.local.predict(context.pc)
+        gshare_vote, gshare_index = self.gshare.predict(context.pc)
+        gskew_vote, gskew_indices = self.gskew.predict(context.pc)
+        votes = int(local_vote) + int(gshare_vote) + int(gskew_vote)
+        metadata = _HMPMetadata(local_index, gshare_index, gskew_indices)
+        return votes >= 2, metadata
+
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        metadata: _HMPMetadata = record.metadata
+        pc = record.context.pc
+        self.local.train(pc, metadata.local_index, went_offchip)
+        self.gshare.train(pc, metadata.gshare_index, went_offchip)
+        self.gskew.train(pc, metadata.gskew_indices, went_offchip)
+
+    def storage_bits(self) -> int:
+        return (self.local.storage_bits() + self.gshare.storage_bits()
+                + self.gskew.storage_bits())

@@ -1,0 +1,43 @@
+"""Ideal off-chip predictor (oracle) used for the Ideal Hermes studies.
+
+Section 3.1 of the paper models an *Ideal Hermes* that magically knows,
+as soon as a load's physical address is available, whether it will go
+off-chip.  We implement it as a predictor holding a reference to an
+oracle callable — in practice the cache hierarchy's ``would_go_offchip``
+probe — so that it achieves 100% accuracy and coverage by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+
+OracleFn = Callable[[int, int], bool]
+"""Signature: (address, cycle) -> would the load go off-chip?"""
+
+
+class IdealPredictor(OffChipPredictor):
+    """Oracle predictor with perfect accuracy and coverage."""
+
+    name = "ideal"
+
+    def __init__(self, oracle: Optional[OracleFn] = None) -> None:
+        super().__init__()
+        self._oracle = oracle
+
+    def bind_oracle(self, oracle: OracleFn) -> None:
+        """Attach the oracle probe (done by the simulator at construction time)."""
+        self._oracle = oracle
+
+    def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
+        if self._oracle is None:
+            raise RuntimeError(
+                "IdealPredictor has no oracle bound; call bind_oracle() first")
+        return self._oracle(context.address, context.cycle), None
+
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        return None
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,173 @@
+"""POPET: the Perceptron-based Off-chip Predictor (Section 6.1).
+
+POPET is a hashed-perceptron predictor.  Each program feature owns a small
+table of 5-bit saturating signed weights.  To predict, the feature values
+of the current load are hashed into their tables, the retrieved weights
+are summed, and the load is predicted to go off-chip when the sum crosses
+the activation threshold.  Training (invoked when the load returns to the
+core) nudges each indexed weight toward the true outcome, gated by the
+positive/negative training thresholds so saturated predictions stop
+training and the predictor can adapt quickly to phase changes.
+
+Default configuration reproduces Table 2 / Table 3:
+
+* features: PC^cacheline offset, PC^byte offset, PC+first access,
+  cacheline offset+first access, last-4 load PCs;
+* activation threshold -18, negative/positive training thresholds -35/+40;
+* 5-bit weights; 1024-entry tables (128 for cacheline offset+first access);
+* a 64-entry page buffer supplying the first-access hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.features import (
+    FeatureExtractor,
+    FeatureSpec,
+    SELECTED_FEATURES,
+    get_feature,
+)
+
+WEIGHT_MIN = -16
+WEIGHT_MAX = 15
+WEIGHT_BITS = 5
+
+
+@dataclass
+class POPETConfig:
+    """Tunable POPET parameters (paper Table 2 defaults)."""
+
+    feature_names: Sequence[str] = field(default_factory=lambda: list(SELECTED_FEATURES))
+    activation_threshold: int = -18
+    negative_training_threshold: int = -35
+    positive_training_threshold: int = 40
+    page_buffer_entries: int = 64
+    pc_history_depth: int = 4
+    load_queue_entries: int = 128
+
+    def validate(self) -> None:
+        if not self.feature_names:
+            raise ValueError("POPET requires at least one feature")
+        if self.negative_training_threshold > self.positive_training_threshold:
+            raise ValueError("negative training threshold must not exceed positive")
+        for name in self.feature_names:
+            get_feature(name)
+
+
+@dataclass
+class _PredictionMetadata:
+    """Metadata stored in the LQ entry for training (Table 3, "LQ Metadata")."""
+
+    feature_indices: Tuple[int, ...]
+    perceptron_sum: int
+    first_access: bool
+
+
+class POPET(OffChipPredictor):
+    """Perceptron-based off-chip load predictor."""
+
+    name = "popet"
+
+    def __init__(self, config: Optional[POPETConfig] = None) -> None:
+        super().__init__()
+        self.config = config or POPETConfig()
+        self.config.validate()
+        self.features: List[FeatureSpec] = [get_feature(name)
+                                            for name in self.config.feature_names]
+        self.weights: List[List[int]] = [[0] * spec.table_size for spec in self.features]
+        self.extractor = FeatureExtractor(
+            page_buffer_entries=self.config.page_buffer_entries,
+            pc_history_depth=self.config.pc_history_depth)
+        self.training_events = 0
+        self.training_skipped_saturated = 0
+
+    # ------------------------------------------------------------------ #
+    # Prediction (Fig. 8 pipeline: extract -> index -> sum -> threshold)
+    # ------------------------------------------------------------------ #
+
+    def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
+        first_access = self.extractor.observe(context.pc, context.address)
+        indices = tuple(spec.index(self.extractor, context.pc, context.address,
+                                   first_access)
+                        for spec in self.features)
+        total = 0
+        for table, index in zip(self.weights, indices):
+            total += table[index]
+        predicted = total >= self.config.activation_threshold
+        metadata = _PredictionMetadata(feature_indices=indices,
+                                       perceptron_sum=total,
+                                       first_access=first_access)
+        return predicted, metadata
+
+    # ------------------------------------------------------------------ #
+    # Training (Section 6.1.2)
+    # ------------------------------------------------------------------ #
+
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        metadata: _PredictionMetadata = record.metadata
+        total = metadata.perceptron_sum
+        mispredicted = record.predicted_offchip != went_offchip
+        within_thresholds = (self.config.negative_training_threshold
+                             <= total
+                             <= self.config.positive_training_threshold)
+        if not mispredicted and not within_thresholds:
+            # Saturated and correct: skip training so weights do not
+            # over-saturate (helps adapting to phase changes).
+            self.training_skipped_saturated += 1
+            return
+        self.training_events += 1
+        delta = 1 if went_offchip else -1
+        for table, index in zip(self.weights, metadata.feature_indices):
+            value = table[index] + delta
+            if value > WEIGHT_MAX:
+                value = WEIGHT_MAX
+            elif value < WEIGHT_MIN:
+                value = WEIGHT_MIN
+            table[index] = value
+
+    # ------------------------------------------------------------------ #
+    # Storage accounting (Table 3)
+    # ------------------------------------------------------------------ #
+
+    def weight_table_bits(self) -> int:
+        return sum(spec.table_size * WEIGHT_BITS for spec in self.features)
+
+    def page_buffer_bits(self) -> int:
+        return self.extractor.page_buffer.storage_bits
+
+    def lq_metadata_bits(self) -> int:
+        """Per-LQ-entry metadata POPET keeps for training (Table 3)."""
+        entries = self.config.load_queue_entries
+        # Hashed PC (32b) + last-4 PC hash (10b) + first access (1b)
+        # + perceptron weight (5b) + prediction (1b) per entry.
+        return entries * (32 + 10 + 1 + 5 + 1)
+
+    def storage_bits(self) -> int:
+        return self.weight_table_bits() + self.page_buffer_bits() + self.lq_metadata_bits()
+
+    def storage_breakdown(self) -> Dict[str, float]:
+        """Storage in KB per structure, mirroring Table 3."""
+        return {
+            "weight_tables_kb": self.weight_table_bits() / 8 / 1024,
+            "page_buffer_kb": self.page_buffer_bits() / 8 / 1024,
+            "lq_metadata_kb": self.lq_metadata_bits() / 8 / 1024,
+            "total_kb": self.storage_bits() / 8 / 1024,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by tests and the feature-ablation experiments
+    # ------------------------------------------------------------------ #
+
+    def weight_summary(self) -> Dict[str, Tuple[int, int]]:
+        """Return (min, max) weight per feature table (for tests/diagnostics)."""
+        return {spec.name: (min(table), max(table))
+                for spec, table in zip(self.features, self.weights)}
+
+    @classmethod
+    def with_features(cls, feature_names: Sequence[str], **kwargs: Any) -> "POPET":
+        """Build a POPET variant with a custom feature subset (Figs. 10, 11)."""
+        config = POPETConfig(feature_names=list(feature_names), **kwargs)
+        return cls(config)

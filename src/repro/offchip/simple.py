@@ -1,0 +1,54 @@
+"""Trivial off-chip predictors used for bounding studies and tests."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+
+
+class AlwaysOffChipPredictor(OffChipPredictor):
+    """Predicts every load goes off-chip (100% coverage, worst-case accuracy)."""
+
+    name = "always"
+
+    def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
+        return True, None
+
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        return None
+
+
+class NeverOffChipPredictor(OffChipPredictor):
+    """Never predicts off-chip (Hermes effectively disabled)."""
+
+    name = "never"
+
+    def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
+        return False, None
+
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        return None
+
+
+class RandomPredictor(OffChipPredictor):
+    """Predicts off-chip with a fixed probability (deterministic LCG)."""
+
+    name = "random"
+
+    def __init__(self, probability: float = 0.5, seed: int = 7) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self.probability = probability
+        self._state = seed & 0x7FFFFFFF
+
+    def _rand(self) -> float:
+        self._state = (1103515245 * self._state + 12345) & 0x7FFFFFFF
+        return self._state / 0x7FFFFFFF
+
+    def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
+        return self._rand() < self.probability, None
+
+    def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        return None

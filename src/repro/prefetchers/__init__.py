@@ -1,0 +1,39 @@
+"""Hardware data prefetchers.
+
+The paper evaluates Hermes on top of five high-performance prefetchers —
+Pythia [Bera+, MICRO'21], Bingo [Bakhshalipour+, HPCA'19], SPP with a
+perceptron filter [Kim+, MICRO'16; Bhatia+, ISCA'19], MLOP
+[Shakerinava+, DPC3'19] and SMS [Somogyi+, ISCA'06] — plus a
+no-prefetching baseline.  This package provides Python implementations of
+each behind a common :class:`~repro.prefetchers.base.Prefetcher`
+interface, together with simple next-line / stride / streamer prefetchers
+used by the unit tests and ablation benchmarks.
+"""
+
+from repro.prefetchers.base import (
+    NextLinePrefetcher,
+    NoPrefetcher,
+    Prefetcher,
+)
+from repro.prefetchers.stride import StridePrefetcher, StreamerPrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.mlop import MLOPPrefetcher
+from repro.prefetchers.sms import SMSPrefetcher
+from repro.prefetchers.pythia import PythiaPrefetcher
+from repro.prefetchers.factory import available_prefetchers, make_prefetcher
+
+__all__ = [
+    "Prefetcher",
+    "NoPrefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "StreamerPrefetcher",
+    "SPPPrefetcher",
+    "BingoPrefetcher",
+    "MLOPPrefetcher",
+    "SMSPrefetcher",
+    "PythiaPrefetcher",
+    "make_prefetcher",
+    "available_prefetchers",
+]

@@ -1,0 +1,134 @@
+"""Bingo spatial data prefetcher [Bakhshalipour+, HPCA'19].
+
+Bingo associates spatial footprints with *multiple* history events of
+different lengths — primarily "PC + Address" (long event, most accurate)
+and "PC + Offset" (short event, most general) — and looks them up in that
+order when a new spatial region is triggered.  Compared to SMS, the
+fallback from the long to the short event is what lets Bingo cover both
+recurring data structures and new pages touched by familiar code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.memory.address import LINES_PER_PAGE, page_number
+from repro.prefetchers.base import Prefetcher
+
+
+@dataclass
+class _Generation:
+    """Footprint being accumulated for an active spatial region."""
+
+    trigger_pc: int
+    trigger_offset: int
+    trigger_block: int
+    footprint: int = 0
+    accesses: int = 0
+
+
+class BingoPrefetcher(Prefetcher):
+    """Bingo spatial prefetcher with PC+Address / PC+Offset events."""
+
+    name = "bingo"
+
+    def __init__(self, active_regions: int = 64, long_table_size: int = 2048,
+                 short_table_size: int = 1024, max_prefetches: int = 16) -> None:
+        super().__init__()
+        self.active_regions = active_regions
+        self.long_table_size = long_table_size
+        self.short_table_size = short_table_size
+        self.max_prefetches = max_prefetches
+        self._active: "OrderedDict[int, _Generation]" = OrderedDict()
+        # PC + block-address event -> footprint
+        self._long_history: "OrderedDict[int, int]" = OrderedDict()
+        # PC + offset event -> footprint
+        self._short_history: "OrderedDict[int, int]" = OrderedDict()
+
+    @staticmethod
+    def _long_event(pc: int, block: int) -> int:
+        return ((pc & 0xFFFF) << 32) ^ block
+
+    @staticmethod
+    def _short_event(pc: int, offset: int) -> int:
+        return ((pc & 0x3FFFFFF) << 6) | offset
+
+    # ------------------------------------------------------------------ #
+
+    def _generate(self, address: int, pc: int, cycle: int, hit: bool) -> List[int]:
+        page = page_number(address)
+        offset = (address >> 6) & (LINES_PER_PAGE - 1)
+        block = address >> 6
+        generation = self._active.get(page)
+        candidates: List[int] = []
+
+        if generation is None:
+            if len(self._active) >= self.active_regions:
+                _, old = self._active.popitem(last=False)
+                self._commit(old)
+            generation = _Generation(trigger_pc=pc, trigger_offset=offset,
+                                     trigger_block=block)
+            self._active[page] = generation
+            footprint = self._lookup(pc, block, offset)
+            if footprint:
+                candidates = self._footprint_to_addresses(page, footprint, offset)
+        else:
+            self._active.move_to_end(page)
+
+        generation.footprint |= (1 << offset)
+        generation.accesses += 1
+        return candidates
+
+    # ------------------------------------------------------------------ #
+
+    def _lookup(self, pc: int, block: int, offset: int) -> Optional[int]:
+        long_key = self._long_event(pc, block)
+        footprint = self._long_history.get(long_key)
+        if footprint is not None:
+            self._long_history.move_to_end(long_key)
+            return footprint
+        short_key = self._short_event(pc, offset)
+        footprint = self._short_history.get(short_key)
+        if footprint is not None:
+            self._short_history.move_to_end(short_key)
+            return footprint
+        return None
+
+    def _commit(self, generation: _Generation) -> None:
+        if generation.accesses < 2:
+            return
+        long_key = self._long_event(generation.trigger_pc, generation.trigger_block)
+        short_key = self._short_event(generation.trigger_pc, generation.trigger_offset)
+        self._store(self._long_history, long_key, generation.footprint,
+                    self.long_table_size)
+        self._store(self._short_history, short_key, generation.footprint,
+                    self.short_table_size)
+
+    @staticmethod
+    def _store(table: "OrderedDict[int, int]", key: int, footprint: int,
+               capacity: int) -> None:
+        if key in table:
+            table[key] |= footprint
+            table.move_to_end(key)
+            return
+        if len(table) >= capacity:
+            table.popitem(last=False)
+        table[key] = footprint
+
+    def _footprint_to_addresses(self, page: int, footprint: int,
+                                trigger_offset: int) -> List[int]:
+        addresses: List[int] = []
+        for line in range(LINES_PER_PAGE):
+            if line == trigger_offset:
+                continue
+            if footprint & (1 << line):
+                addresses.append((page << 12) | (line << 6))
+                if len(addresses) >= self.max_prefetches:
+                    break
+        return addresses
+
+    def storage_bits(self) -> int:
+        # Paper Table 6: Bingo = 46 KB.
+        return 46 * 1024 * 8

@@ -1,0 +1,50 @@
+"""Factory for constructing prefetchers by name.
+
+Keeping construction behind a registry lets configuration dataclasses,
+experiment runners and the CLI examples refer to prefetchers by the names
+the paper uses ("pythia", "bingo", "spp", "mlop", "sms", "none").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.prefetchers.base import NextLinePrefetcher, NoPrefetcher, Prefetcher
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.mlop import MLOPPrefetcher
+from repro.prefetchers.pythia import PythiaPrefetcher
+from repro.prefetchers.sms import SMSPrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.stride import StridePrefetcher, StreamerPrefetcher
+
+_REGISTRY: Dict[str, Callable[[], Prefetcher]] = {
+    "none": NoPrefetcher,
+    "next_line": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+    "streamer": StreamerPrefetcher,
+    "spp": SPPPrefetcher,
+    "bingo": BingoPrefetcher,
+    "mlop": MLOPPrefetcher,
+    "sms": SMSPrefetcher,
+    "pythia": PythiaPrefetcher,
+}
+
+
+def available_prefetchers() -> List[str]:
+    """Names accepted by :func:`make_prefetcher`."""
+    return sorted(_REGISTRY)
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Construct a prefetcher by name.
+
+    Raises ``ValueError`` for unknown names so configuration typos fail
+    loudly instead of silently simulating without a prefetcher.
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; expected one of {available_prefetchers()}"
+        ) from exc
+    return factory()

@@ -1,0 +1,22 @@
+"""Simulation drivers.
+
+Ties the substrates together: build a system from a
+:class:`~repro.sim.config.SystemConfig`, run a workload trace through it,
+and collect a :class:`~repro.sim.results.SimulationResult`.  Single-core
+and multi-core (shared LLC + memory controller) drivers are provided.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import build_system, simulate_trace, simulate_suite
+from repro.sim.multicore import MultiCoreResult, simulate_multicore
+
+__all__ = [
+    "SystemConfig",
+    "SimulationResult",
+    "build_system",
+    "simulate_trace",
+    "simulate_suite",
+    "MultiCoreResult",
+    "simulate_multicore",
+]

@@ -1,0 +1,104 @@
+"""Full-system configuration (the paper's Table 4 in dataclass form).
+
+A :class:`SystemConfig` names the prefetcher and off-chip predictor and
+embeds the core, cache-hierarchy, DRAM and Hermes configurations.  Named
+constructors build the specific configurations the paper evaluates
+(baseline Pythia, Hermes-O/P on top of any prefetcher, the
+no-prefetching system every speedup is normalised to, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.hermes import HermesConfig
+from repro.cpu.core import CoreConfig
+from repro.dram.config import DRAMConfig
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+
+
+@dataclass
+class SystemConfig:
+    """Complete single-core system configuration."""
+
+    label: str = "baseline"
+    core: CoreConfig = field(default_factory=CoreConfig)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    prefetcher: str = "pythia"
+    offchip_predictor: Optional[str] = None
+    hermes: HermesConfig = field(default_factory=HermesConfig.disabled)
+    warmup_fraction: float = 0.25
+
+    def validate(self) -> None:
+        self.core.validate()
+        self.hierarchy.validate()
+        self.dram.validate()
+        self.hermes.validate()
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.hermes.enabled and self.offchip_predictor is None:
+            raise ValueError("Hermes is enabled but no off-chip predictor is configured")
+
+    # ------------------------------------------------------------------ #
+    # Named configurations used throughout the experiments
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def no_prefetching(cls) -> "SystemConfig":
+        """The no-prefetching system all speedups are normalised to."""
+        return cls(label="no-prefetching", prefetcher="none")
+
+    @classmethod
+    def baseline(cls, prefetcher: str = "pythia") -> "SystemConfig":
+        """The baseline system: the chosen prefetcher, no Hermes."""
+        return cls(label=prefetcher, prefetcher=prefetcher)
+
+    @classmethod
+    def with_hermes(cls, predictor: str = "popet", prefetcher: str = "none",
+                    optimistic: bool = True) -> "SystemConfig":
+        """Hermes with the given predictor on top of the given prefetcher."""
+        hermes_config = (HermesConfig.optimistic() if optimistic
+                         else HermesConfig.pessimistic())
+        variant = "O" if optimistic else "P"
+        prefix = f"{prefetcher}+" if prefetcher != "none" else ""
+        return cls(label=f"{prefix}hermes-{variant}({predictor})",
+                   prefetcher=prefetcher,
+                   offchip_predictor=predictor,
+                   hermes=hermes_config)
+
+    # ------------------------------------------------------------------ #
+    # Sweep helpers (sensitivity studies)
+    # ------------------------------------------------------------------ #
+
+    def with_label(self, label: str) -> "SystemConfig":
+        return replace(self, label=label)
+
+    def with_rob_size(self, rob_size: int) -> "SystemConfig":
+        return replace(self, core=replace(self.core, rob_size=rob_size),
+                       label=f"{self.label}-rob{rob_size}")
+
+    def with_llc_size_mb(self, size_mb: float) -> "SystemConfig":
+        llc = replace(self.hierarchy.llc, size_bytes=int(size_mb * 1024 * 1024))
+        return replace(self, hierarchy=replace(self.hierarchy, llc=llc),
+                       label=f"{self.label}-llc{size_mb}MB")
+
+    def with_llc_latency(self, latency: int) -> "SystemConfig":
+        llc = replace(self.hierarchy.llc, latency=latency)
+        return replace(self, hierarchy=replace(self.hierarchy, llc=llc),
+                       label=f"{self.label}-llclat{latency}")
+
+    def with_memory_bandwidth(self, mtps: int) -> "SystemConfig":
+        return replace(self, dram=self.dram.scaled(mtps),
+                       label=f"{self.label}-{mtps}mtps")
+
+    def with_hermes_issue_latency(self, cycles: int) -> "SystemConfig":
+        return replace(self, hermes=replace(self.hermes, issue_latency=cycles),
+                       label=f"{self.label}-issue{cycles}")
+
+    @classmethod
+    def eight_core_dram(cls) -> DRAMConfig:
+        """The paper's eight-core memory configuration (4 channels, 2 ranks)."""
+        return DRAMConfig(channels=4, ranks_per_channel=2)

@@ -1,0 +1,129 @@
+"""Single-core simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.hermes import HermesEngine, HermesStats
+from repro.cpu.core import CoreStats, OutOfOrderCore
+from repro.dram.controller import MemoryController
+from repro.memory.hierarchy import CacheHierarchy, HierarchyStats
+from repro.offchip.base import OffChipPredictor, PredictorStats
+from repro.offchip.factory import make_predictor
+from repro.offchip.ideal import IdealPredictor
+from repro.prefetchers.factory import make_prefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class System:
+    """A fully wired single-core system."""
+
+    config: SystemConfig
+    hierarchy: CacheHierarchy
+    memory_controller: MemoryController
+    core: OutOfOrderCore
+    hermes: Optional[HermesEngine]
+    predictor: Optional[OffChipPredictor]
+
+    def reset_stats(self) -> None:
+        """Replace every statistics object (used after the warmup phase)."""
+        self.hierarchy.stats = HierarchyStats()
+        self.memory_controller.stats = type(self.memory_controller.stats)()
+        if self.hermes is not None:
+            self.hermes.stats = HermesStats()
+        if self.predictor is not None:
+            self.predictor.stats = PredictorStats()
+        if self.hierarchy.prefetcher is not None:
+            self.hierarchy.prefetcher.stats = type(self.hierarchy.prefetcher.stats)()
+        for cache in (self.hierarchy.l1d, self.hierarchy.l2, self.hierarchy.llc):
+            cache.stats = type(cache.stats)()
+
+
+def build_system(config: SystemConfig,
+                 predictor: Optional[OffChipPredictor] = None) -> System:
+    """Construct a single-core system from ``config``.
+
+    ``predictor`` may be supplied to inject a pre-built (or custom-feature)
+    off-chip predictor — used by the feature-ablation experiments.
+    """
+    config.validate()
+    prefetcher = make_prefetcher(config.prefetcher)
+    memory_controller = MemoryController(config.dram)
+    hierarchy = CacheHierarchy(config=config.hierarchy,
+                               prefetcher=prefetcher,
+                               memory_controller=memory_controller)
+    hermes: Optional[HermesEngine] = None
+    if config.offchip_predictor is not None or predictor is not None:
+        if predictor is None:
+            predictor = make_predictor(config.offchip_predictor)
+        if isinstance(predictor, IdealPredictor):
+            predictor.bind_oracle(hierarchy.would_go_offchip)
+        hermes = HermesEngine(predictor, memory_controller, config.hermes)
+    core = OutOfOrderCore(hierarchy, hermes=hermes, config=config.core)
+    return System(config=config, hierarchy=hierarchy,
+                  memory_controller=memory_controller, core=core,
+                  hermes=hermes, predictor=predictor)
+
+
+def simulate_trace(config: SystemConfig, trace: Trace,
+                   predictor: Optional[OffChipPredictor] = None,
+                   max_accesses: Optional[int] = None) -> SimulationResult:
+    """Run ``trace`` on a freshly built system described by ``config``.
+
+    A warmup phase (``config.warmup_fraction`` of the trace) primes the
+    caches and the predictors; statistics are collected only over the
+    measured portion, mirroring the paper's warmup/simulate split
+    (Section 7).
+    """
+    system = build_system(config, predictor=predictor)
+    accesses = trace.accesses if max_accesses is None else trace.accesses[:max_accesses]
+    warmup_count = int(len(accesses) * config.warmup_fraction)
+
+    core = system.core
+    core.begin()
+    for access in accesses[:warmup_count]:
+        core.step(access)
+    if warmup_count:
+        # Keep microarchitectural state, discard warmup statistics.
+        system.reset_stats()
+        core.stats = CoreStats()
+    for access in accesses[warmup_count:]:
+        core.step(access)
+    core_stats = core.finalize()
+
+    return _collect(system, trace, core_stats)
+
+
+def simulate_suite(config: SystemConfig, traces: Sequence[Trace],
+                   max_accesses: Optional[int] = None) -> List[SimulationResult]:
+    """Run a list of traces through (fresh copies of) the same configuration."""
+    return [simulate_trace(config, trace, max_accesses=max_accesses)
+            for trace in traces]
+
+
+def _collect(system: System, trace: Trace, core_stats: CoreStats) -> SimulationResult:
+    predictor_stats: Dict[str, float] = {}
+    if system.predictor is not None:
+        predictor_stats = system.predictor.stats.as_dict()
+    hermes_stats: Dict[str, int] = {}
+    if system.hermes is not None:
+        hermes_stats = system.hermes.stats.as_dict()
+    prefetcher_stats: Dict[str, int] = {}
+    if system.hierarchy.prefetcher is not None:
+        prefetcher_stats = system.hierarchy.prefetcher.stats.as_dict()
+    return SimulationResult(
+        workload=trace.name,
+        category=trace.category,
+        config_label=system.config.label,
+        core=core_stats,
+        hierarchy=system.hierarchy.stats.as_dict(),
+        memory_controller=system.memory_controller.stats.as_dict(),
+        predictor=predictor_stats,
+        hermes=hermes_stats,
+        llc=system.hierarchy.llc.stats.as_dict(),
+        prefetcher=prefetcher_stats,
+    )

@@ -1,0 +1,49 @@
+"""Synthetic workload traces.
+
+The paper evaluates Hermes on 110 single-core traces from SPEC CPU2006,
+SPEC CPU2017, PARSEC, Ligra and CVP.  Those traces are not redistributable
+and are far too long (500M instructions) for a Python timing model, so
+this package provides *synthetic trace generators* that reproduce the
+memory-access-pattern classes those suites exhibit — streaming, strided,
+pointer-chasing, graph-analytics hybrid, hot/cold irregular and
+server-style access mixes — with the program-context correlations POPET
+learns from (per-PC miss behaviour, cacheline-offset structure,
+first-access locality).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.generators import (
+    GraphAnalyticsWorkload,
+    MixedIrregularWorkload,
+    PointerChaseWorkload,
+    ServerWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+    SyntheticWorkload,
+)
+from repro.workloads.suite import (
+    CATEGORIES,
+    WorkloadSpec,
+    make_trace,
+    multicore_mixes,
+    workload_names,
+    workload_suite,
+)
+
+__all__ = [
+    "MemoryAccess",
+    "Trace",
+    "SyntheticWorkload",
+    "StreamingWorkload",
+    "StridedWorkload",
+    "PointerChaseWorkload",
+    "GraphAnalyticsWorkload",
+    "MixedIrregularWorkload",
+    "ServerWorkload",
+    "CATEGORIES",
+    "WorkloadSpec",
+    "make_trace",
+    "workload_names",
+    "workload_suite",
+    "multicore_mixes",
+]

@@ -1,0 +1,177 @@
+"""Workload catalogue: named traces grouped into the paper's categories.
+
+The paper evaluates five suites (SPEC06, SPEC17, PARSEC, Ligra, CVP).  We
+provide several named synthetic workloads per category, each built from
+one of the generators in :mod:`repro.workloads.generators` with distinct
+parameters and seeds, so category averages aggregate genuinely different
+behaviours as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.workloads.generators import (
+    GraphAnalyticsWorkload,
+    MixedIrregularWorkload,
+    PointerChaseWorkload,
+    ServerWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+    SyntheticWorkload,
+)
+from repro.workloads.trace import Trace
+
+#: Workload categories, in the paper's presentation order.
+CATEGORIES: List[str] = ["SPEC06", "SPEC17", "PARSEC", "Ligra", "CVP"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload and the factory that builds its generator."""
+
+    name: str
+    category: str
+    factory: Callable[[], SyntheticWorkload]
+
+
+def _specs() -> List[WorkloadSpec]:
+    return [
+        # SPEC CPU2006-like: strided fp kernels and hot/cold integer codes.
+        WorkloadSpec("spec06.mcf_chase", "SPEC06",
+                     lambda: PointerChaseWorkload("spec06.mcf_chase", seed=13,
+                                                  footprint_mb=96,
+                                                  hot_probability=0.85)),
+        WorkloadSpec("spec06.stencil", "SPEC06",
+                     lambda: StridedWorkload("spec06.stencil", seed=11,
+                                             stride_bytes=24, array_mb=48)),
+        WorkloadSpec("spec06.libq_stream", "SPEC06",
+                     lambda: StreamingWorkload("spec06.libq_stream", seed=12,
+                                               num_streams=2, array_mb=48,
+                                               store_fraction=0.05)),
+        WorkloadSpec("spec06.gcc_mixed", "SPEC06",
+                     lambda: MixedIrregularWorkload("spec06.gcc_mixed", seed=14,
+                                                    cold_probability=0.1,
+                                                    cold_footprint_mb=64)),
+        WorkloadSpec("spec17.mcf_chase", "SPEC17",
+                     lambda: PointerChaseWorkload("spec17.mcf_chase", seed=22,
+                                                  footprint_mb=128,
+                                                  hot_probability=0.8)),
+        WorkloadSpec("spec17.lbm_stream", "SPEC17",
+                     lambda: StreamingWorkload("spec17.lbm_stream", seed=21,
+                                               num_streams=6, array_mb=40,
+                                               store_fraction=0.25)),
+        WorkloadSpec("spec17.xalanc_mixed", "SPEC17",
+                     lambda: MixedIrregularWorkload("spec17.xalanc_mixed", seed=23,
+                                                    cold_probability=0.15,
+                                                    cold_footprint_mb=96)),
+        WorkloadSpec("spec17.roms_strided", "SPEC17",
+                     lambda: StridedWorkload("spec17.roms_strided", seed=24,
+                                             stride_bytes=40, array_mb=64)),
+        WorkloadSpec("parsec.canneal", "PARSEC",
+                     lambda: PointerChaseWorkload("parsec.canneal", seed=32,
+                                                  footprint_mb=80,
+                                                  hot_probability=0.82,
+                                                  chase_length=6)),
+        WorkloadSpec("parsec.streamcluster", "PARSEC",
+                     lambda: StreamingWorkload("parsec.streamcluster", seed=31,
+                                               num_streams=4, array_mb=32)),
+        WorkloadSpec("parsec.facesim", "PARSEC",
+                     lambda: StridedWorkload("parsec.facesim", seed=33,
+                                             stride_bytes=16, array_mb=36)),
+        WorkloadSpec("ligra.bfs", "Ligra",
+                     lambda: GraphAnalyticsWorkload("ligra.bfs", seed=41,
+                                                    edges_per_vertex=3,
+                                                    hot_access_probability=0.8)),
+        WorkloadSpec("ligra.pagerank", "Ligra",
+                     lambda: GraphAnalyticsWorkload("ligra.pagerank", seed=42,
+                                                    edges_per_vertex=6,
+                                                    hot_access_probability=0.85)),
+        WorkloadSpec("ligra.components", "Ligra",
+                     lambda: GraphAnalyticsWorkload("ligra.components", seed=43,
+                                                    edges_per_vertex=4,
+                                                    hot_access_probability=0.75)),
+        WorkloadSpec("cvp.server_int", "CVP",
+                     lambda: ServerWorkload("cvp.server_int", seed=51,
+                                            num_load_pcs=192, footprint_mb=48)),
+        WorkloadSpec("cvp.compute_fp", "CVP",
+                     lambda: StreamingWorkload("cvp.compute_fp", seed=53,
+                                               num_streams=8, array_mb=24,
+                                               store_fraction=0.15)),
+        WorkloadSpec("cvp.server_db", "CVP",
+                     lambda: ServerWorkload("cvp.server_db", seed=52,
+                                            num_load_pcs=320, footprint_mb=64,
+                                            random_access_probability=0.15)),
+    ]
+
+
+_SPEC_INDEX: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _specs()}
+
+
+def workload_names(category: Optional[str] = None) -> List[str]:
+    """Return all workload names, optionally filtered by category."""
+    if category is None:
+        return list(_SPEC_INDEX)
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown category {category!r}; expected one of {CATEGORIES}")
+    return [name for name, spec in _SPEC_INDEX.items() if spec.category == category]
+
+
+def make_trace(name: str, num_accesses: int = 20000) -> Trace:
+    """Generate the named workload's trace with ``num_accesses`` memory ops."""
+    try:
+        spec = _SPEC_INDEX[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {list(_SPEC_INDEX)}"
+        ) from exc
+    generator = spec.factory()
+    generator.category = spec.category
+    trace = generator.generate(num_accesses)
+    trace.category = spec.category
+    return trace
+
+
+def workload_suite(num_accesses: int = 20000,
+                   categories: Optional[Sequence[str]] = None,
+                   per_category: Optional[int] = None) -> List[Trace]:
+    """Generate the full evaluation suite (or a subset of it).
+
+    ``per_category`` limits the number of workloads taken from each
+    category, which keeps the benchmark harness affordable while still
+    exercising every category.
+    """
+    selected_categories = list(categories) if categories is not None else list(CATEGORIES)
+    traces: List[Trace] = []
+    for category in selected_categories:
+        names = workload_names(category)
+        if per_category is not None:
+            names = names[:per_category]
+        for name in names:
+            traces.append(make_trace(name, num_accesses))
+    return traces
+
+
+def multicore_mixes(num_cores: int = 8, num_mixes: int = 4,
+                    num_accesses: int = 8000, seed: int = 99,
+                    homogeneous: bool = False) -> List[List[Trace]]:
+    """Build multi-programmed workload mixes for the eight-core experiments.
+
+    Homogeneous mixes run ``num_cores`` copies of one workload (with
+    different seeds through truncation offsets); heterogeneous mixes draw
+    ``num_cores`` random workloads from the catalogue, as in Section 7.1.
+    """
+    rng = random.Random(seed)
+    names = workload_names()
+    mixes: List[List[Trace]] = []
+    for mix_index in range(num_mixes):
+        if homogeneous:
+            name = names[mix_index % len(names)]
+            mix = [make_trace(name, num_accesses) for _ in range(num_cores)]
+        else:
+            chosen = [rng.choice(names) for _ in range(num_cores)]
+            mix = [make_trace(name, num_accesses) for name in chosen]
+        mixes.append(mix)
+    return mixes

@@ -1,0 +1,96 @@
+"""Memory-access trace format.
+
+A trace is a sequence of :class:`MemoryAccess` records, each describing
+one memory instruction plus the number of non-memory instructions that
+precede it in program order (so the core model can account for IPC and
+ROB occupancy without materialising every ALU instruction).
+
+``depends_on_previous_load`` marks loads whose *address* depends on the
+data of the previous load (pointer chasing); the core model serialises
+those, which is what gives graph and mcf-like workloads their low memory-
+level parallelism in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(slots=True)
+class MemoryAccess:
+    """One memory instruction in a trace."""
+
+    pc: int
+    address: int
+    is_load: bool = True
+    nonmem_before: int = 0
+    depends_on_previous_load: bool = False
+
+    @property
+    def is_store(self) -> bool:
+        return not self.is_load
+
+
+@dataclass
+class Trace:
+    """A named memory-access trace with workload metadata."""
+
+    name: str
+    category: str
+    accesses: List[MemoryAccess] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __getitem__(self, index: int) -> MemoryAccess:
+        return self.accesses[index]
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions represented (memory ops plus compressed ALU ops)."""
+        return sum(access.nonmem_before + 1 for access in self.accesses)
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for access in self.accesses if access.is_load)
+
+    @property
+    def store_count(self) -> int:
+        return len(self.accesses) - self.load_count
+
+    def unique_blocks(self) -> int:
+        """Number of distinct cachelines touched (footprint in lines)."""
+        return len({access.address >> 6 for access in self.accesses})
+
+    def unique_pcs(self) -> int:
+        return len({access.pc for access in self.accesses})
+
+    def footprint_bytes(self) -> int:
+        return self.unique_blocks() * 64
+
+    def summary(self) -> Dict[str, float]:
+        """Compact description used by examples and experiment logs."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "memory_instructions": len(self.accesses),
+            "total_instructions": self.instruction_count,
+            "loads": self.load_count,
+            "stores": self.store_count,
+            "unique_pcs": self.unique_pcs(),
+            "footprint_mb": self.footprint_bytes() / (1 << 20),
+        }
+
+    def extend(self, accesses: Iterable[MemoryAccess]) -> None:
+        self.accesses.extend(accesses)
+
+    def truncated(self, max_accesses: int) -> "Trace":
+        """Return a copy limited to the first ``max_accesses`` records."""
+        if max_accesses < 0:
+            raise ValueError("max_accesses must be non-negative")
+        return Trace(name=self.name, category=self.category,
+                     accesses=self.accesses[:max_accesses])

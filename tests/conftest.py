@@ -1,0 +1,42 @@
+"""Shared pytest fixtures for the Hermes reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.workloads.suite import make_trace
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture(scope="session")
+def small_irregular_trace() -> Trace:
+    """A pointer-chase trace with a meaningful off-chip load population."""
+    return make_trace("spec06.mcf_chase", num_accesses=4000)
+
+
+@pytest.fixture(scope="session")
+def small_streaming_trace() -> Trace:
+    """A streaming trace that prefetchers cover almost completely."""
+    return make_trace("parsec.streamcluster", num_accesses=4000)
+
+
+@pytest.fixture(scope="session")
+def small_graph_trace() -> Trace:
+    """A Ligra-like graph trace (hybrid regular/irregular)."""
+    return make_trace("ligra.pagerank", num_accesses=4000)
+
+
+@pytest.fixture()
+def no_prefetch_config() -> SystemConfig:
+    return SystemConfig.no_prefetching()
+
+
+@pytest.fixture()
+def pythia_config() -> SystemConfig:
+    return SystemConfig.baseline("pythia")
+
+
+@pytest.fixture()
+def hermes_config() -> SystemConfig:
+    return SystemConfig.with_hermes("popet", prefetcher="pythia")

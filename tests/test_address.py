@@ -1,0 +1,87 @@
+"""Unit tests for address manipulation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import (
+    BLOCK_SIZE,
+    PAGE_SIZE,
+    block_address,
+    block_number,
+    block_offset,
+    byte_offset,
+    cacheline_offset_in_page,
+    fold_xor,
+    hash_index,
+    page_number,
+    page_offset,
+    word_offset,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+def test_block_address_alignment():
+    assert block_address(0) == 0
+    assert block_address(63) == 0
+    assert block_address(64) == 64
+    assert block_address(0x1234) == 0x1200
+
+
+def test_block_offset_and_byte_offset_agree():
+    for address in (0, 1, 63, 64, 100, 0xFFFF):
+        assert block_offset(address) == byte_offset(address)
+        assert 0 <= block_offset(address) < BLOCK_SIZE
+
+
+def test_word_offset_range():
+    assert word_offset(0) == 0
+    assert word_offset(8) == 1
+    assert word_offset(63) == 7
+
+
+def test_page_number_and_offset():
+    assert page_number(PAGE_SIZE) == 1
+    assert page_offset(PAGE_SIZE + 5) == 5
+    assert cacheline_offset_in_page(PAGE_SIZE - 1) == 63
+
+
+@given(addresses)
+def test_block_decomposition_roundtrip(address):
+    assert block_address(address) + block_offset(address) == address
+    assert block_number(address) * BLOCK_SIZE == block_address(address)
+
+
+@given(addresses)
+def test_page_decomposition_roundtrip(address):
+    assert page_number(address) * PAGE_SIZE + page_offset(address) == address
+
+
+@given(addresses)
+def test_cacheline_offset_in_page_bounds(address):
+    assert 0 <= cacheline_offset_in_page(address) < PAGE_SIZE // BLOCK_SIZE
+
+
+@given(st.integers(min_value=0, max_value=(1 << 63) - 1), st.integers(min_value=1, max_value=20))
+def test_fold_xor_within_range(value, bits):
+    assert 0 <= fold_xor(value, bits) < (1 << bits)
+
+
+def test_fold_xor_rejects_bad_bits():
+    with pytest.raises(ValueError):
+        fold_xor(10, 0)
+
+
+@given(addresses)
+def test_hash_index_within_table(value):
+    for size in (2, 128, 1024):
+        assert 0 <= hash_index(value, size) < size
+
+
+def test_hash_index_requires_power_of_two():
+    with pytest.raises(ValueError):
+        hash_index(5, 100)
+
+
+def test_hash_index_is_deterministic():
+    assert hash_index(0xDEADBEEF, 1024) == hash_index(0xDEADBEEF, 1024)

@@ -1,0 +1,156 @@
+"""Unit tests for the analysis metrics, power model and table formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    PowerModel,
+    average,
+    format_series,
+    format_table,
+    geomean,
+    geomean_speedup,
+    main_memory_overhead,
+    percent_increase,
+    speedup_by_category,
+    stall_reduction,
+)
+from repro.cpu.core import CoreStats
+from repro.sim.results import SimulationResult
+
+
+def make_result(workload="w", category="SPEC06", config="cfg", ipc=1.0,
+                offchip=100, stall=1000, demand=500, prefetch=0, hermes=0, merged=0):
+    core = CoreStats(instructions=10000, cycles=int(10000 / ipc), loads=2000,
+                     offchip_loads=offchip, blocking_offchip_loads=offchip,
+                     stall_cycles_offchip=stall)
+    return SimulationResult(
+        workload=workload, category=category, config_label=config, core=core,
+        hierarchy={"llc_misses": offchip, "loads": 2000, "offchip_loads": offchip,
+                   "llc_prefetch_issued": prefetch},
+        memory_controller={"demand_requests": demand, "prefetch_requests": prefetch,
+                           "hermes_requests": hermes, "merged_requests": merged},
+        predictor={"accuracy": 0.8, "coverage": 0.7},
+        hermes={"loads_seen": 2000},
+        prefetcher={"accesses_observed": 2000},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Scalar helpers
+# --------------------------------------------------------------------------- #
+
+def test_geomean_known_values():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+def test_geomean_bounded_by_min_and_max(values):
+    result = geomean(values)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+def test_average_and_percent_increase():
+    assert average([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    assert average([]) == 0.0
+    assert percent_increase(110, 100) == pytest.approx(10.0)
+    assert percent_increase(90, 100) == pytest.approx(-10.0)
+    assert percent_increase(5, 0) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Result-level metrics
+# --------------------------------------------------------------------------- #
+
+def test_simulation_result_derived_metrics():
+    result = make_result(ipc=2.0, offchip=50, demand=300, prefetch=100, hermes=40,
+                         merged=20)
+    assert result.ipc == pytest.approx(2.0, rel=1e-3)
+    assert result.llc_mpki == pytest.approx(5.0)
+    assert result.offchip_load_fraction == pytest.approx(50 / 2000)
+    assert result.main_memory_requests == 300 + 100 + 40 - 20
+    assert result.predictor_accuracy == pytest.approx(0.8)
+
+
+def test_speedup_over_requires_same_workload():
+    fast = make_result(ipc=1.2)
+    slow = make_result(ipc=1.0)
+    assert fast.speedup_over(slow) == pytest.approx(1.2, rel=1e-2)
+    other = make_result(workload="different")
+    with pytest.raises(ValueError):
+        fast.speedup_over(other)
+
+
+def test_geomean_speedup_and_categories():
+    baselines = [make_result(workload="a", category="SPEC06", ipc=1.0),
+                 make_result(workload="b", category="Ligra", ipc=1.0)]
+    results = [make_result(workload="a", category="SPEC06", ipc=1.1),
+               make_result(workload="b", category="Ligra", ipc=1.3)]
+    speedup = geomean_speedup(results, baselines)
+    assert speedup == pytest.approx(math.sqrt(1.1 * 1.3), rel=1e-2)
+    table = speedup_by_category(results, baselines)
+    assert set(table) == {"SPEC06", "Ligra", "GEOMEAN"}
+    assert table["Ligra"] == pytest.approx(1.3, rel=1e-2)
+
+
+def test_geomean_speedup_missing_baseline_raises():
+    with pytest.raises(ValueError):
+        geomean_speedup([make_result(workload="a")], [make_result(workload="b")])
+
+
+def test_main_memory_overhead_and_stall_reduction():
+    baselines = [make_result(workload="a", demand=1000, stall=10000)]
+    more_requests = [make_result(workload="a", demand=1000, hermes=100, stall=8000)]
+    overhead = main_memory_overhead(more_requests, baselines)
+    assert overhead == pytest.approx(10.0)
+    reduction = stall_reduction(more_requests, baselines)
+    assert reduction == pytest.approx(20.0)
+
+
+# --------------------------------------------------------------------------- #
+# Power model
+# --------------------------------------------------------------------------- #
+
+def test_power_model_breakdown_and_ordering():
+    model = PowerModel()
+    baseline = make_result(demand=500, prefetch=0, hermes=0)
+    pythia = make_result(demand=500, prefetch=400, hermes=0)
+    hermes = make_result(demand=500, prefetch=0, hermes=100)
+    assert model.evaluate(baseline).total > 0
+    assert model.relative_power(pythia, baseline) > model.relative_power(hermes, baseline) > 1.0
+    breakdown = model.evaluate(baseline).as_dict()
+    assert set(breakdown) == {"l1", "l2", "llc", "dram", "predictor", "total"}
+
+
+# --------------------------------------------------------------------------- #
+# Table formatting
+# --------------------------------------------------------------------------- #
+
+def test_format_table_contains_rows_and_columns():
+    text = format_table("Fig X", {"SPEC06": {"speedup": 1.1}, "Ligra": {"speedup": 1.2}})
+    assert "Fig X" in text
+    assert "SPEC06" in text
+    assert "speedup" in text
+    assert "1.200" in text
+
+
+def test_format_table_handles_missing_cells_and_empty():
+    text = format_table("T", {"a": {"x": 1.0}, "b": {"y": 2.0}})
+    assert "a" in text and "y" in text
+    assert "(no data)" in format_table("T", {})
+
+
+def test_format_series():
+    text = format_series("S", {"popet": 0.77, "hmp": 0.47})
+    assert "popet" in text
+    assert "0.770" in text
+    assert "(no data)" in format_series("S", {})

@@ -1,0 +1,133 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def make_cache(size_kb=4, ways=4, latency=5, replacement="lru"):
+    return Cache(CacheConfig(name="test", size_bytes=size_kb * 1024, ways=ways,
+                             latency=latency, replacement=replacement))
+
+
+def test_config_validation_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        CacheConfig(name="bad", size_bytes=0, ways=4, latency=1).validate()
+    with pytest.raises(ValueError):
+        CacheConfig(name="bad", size_bytes=1000, ways=3, latency=1).validate()
+    with pytest.raises(ValueError):
+        CacheConfig(name="bad", size_bytes=4096, ways=4, latency=-1).validate()
+
+
+def test_miss_then_fill_then_hit():
+    cache = make_cache()
+    result = cache.access(0x1000, pc=0x400)
+    assert not result.hit
+    cache.fill(0x1000, pc=0x400)
+    assert cache.probe(0x1000)
+    result = cache.access(0x1000, pc=0x400)
+    assert result.hit
+    assert result.latency == cache.latency
+
+
+def test_same_block_different_offsets_hit():
+    cache = make_cache()
+    cache.fill(0x2000, pc=0x400)
+    assert cache.access(0x2010, pc=0x400).hit
+    assert cache.access(0x203F, pc=0x400).hit
+
+
+def test_eviction_on_capacity():
+    cache = make_cache(size_kb=1, ways=2)  # 8 sets x 2 ways = 16 blocks
+    # Fill three blocks mapping to the same set; one must be evicted.
+    addresses = [0x0, 8 * 64, 16 * 64]
+    for address in addresses:
+        cache.fill(address, pc=0x400)
+    present = [cache.probe(address) for address in addresses]
+    assert present.count(True) == 2
+    assert cache.stats.evictions == 1
+
+
+def test_dirty_eviction_returns_writeback():
+    cache = make_cache(size_kb=1, ways=1)  # 16 sets x 1 way
+    cache.fill(0x0, pc=0x400, dirty=True)
+    writeback = cache.fill(16 * 64, pc=0x400)  # maps to the same set 0
+    assert writeback == 0x0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_has_no_writeback():
+    cache = make_cache(size_kb=1, ways=1)
+    cache.fill(0x0, pc=0x400, dirty=False)
+    assert cache.fill(16 * 64, pc=0x400) is None
+
+
+def test_store_marks_block_dirty():
+    cache = make_cache(size_kb=1, ways=1)
+    cache.fill(0x0, pc=0x400)
+    cache.access(0x0, pc=0x400, is_write=True)
+    assert cache.fill(16 * 64, pc=0x400) == 0x0
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.fill(0x3000, pc=0x400)
+    assert cache.invalidate(0x3000)
+    assert not cache.probe(0x3000)
+    assert not cache.invalidate(0x3000)
+
+
+def test_mshr_merge_returns_ready_cycle():
+    cache = make_cache()
+    cache.record_miss(0x4000, ready_cycle=500)
+    assert cache.outstanding_miss(0x4000, cycle=100) == 500
+    assert cache.outstanding_miss_probe(0x4000, cycle=100)
+    # After the fill completes the MSHR entry is released.
+    assert cache.outstanding_miss(0x4000, cycle=600) is None
+    assert not cache.outstanding_miss_probe(0x4000, cycle=600)
+
+
+def test_useful_prefetch_accounting():
+    cache = make_cache()
+    cache.fill(0x5000, pc=0x400, is_prefetch=True)
+    assert cache.stats.prefetch_fills == 1
+    cache.access(0x5000, pc=0x400)
+    assert cache.stats.useful_prefetches == 1
+    # A second hit must not double count usefulness.
+    cache.access(0x5000, pc=0x400)
+    assert cache.stats.useful_prefetches == 1
+
+
+def test_hit_rate_statistics():
+    cache = make_cache()
+    cache.access(0x100, pc=1)
+    cache.fill(0x100, pc=1)
+    cache.access(0x100, pc=1)
+    assert cache.stats.demand_accesses == 2
+    assert cache.stats.demand_hits == 1
+    assert cache.stats.demand_misses == 1
+    assert cache.stats.demand_hit_rate == pytest.approx(0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+def test_resident_blocks_never_exceed_capacity(block_numbers):
+    cache = make_cache(size_kb=2, ways=2)
+    for block in block_numbers:
+        address = block * 64
+        if not cache.access(address, pc=block & 0xFFF).hit:
+            cache.fill(address, pc=block & 0xFFF)
+    assert cache.resident_blocks() <= cache.capacity_blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200),
+       st.sampled_from(["lru", "srrip", "ship", "random"]))
+def test_fill_then_probe_holds_for_every_policy(blocks, policy):
+    cache = Cache(CacheConfig(name="prop", size_bytes=8 * 1024, ways=4, latency=1,
+                              replacement=policy))
+    for block in blocks:
+        cache.fill(block * 64, pc=block)
+        # The block just filled must be resident immediately afterwards.
+        assert cache.probe(block * 64)

@@ -1,0 +1,93 @@
+"""Unit tests for the Hermes engine (speculative request issue/drop)."""
+
+import pytest
+
+from repro.core.hermes import HermesConfig, HermesEngine
+from repro.dram.controller import MemoryController
+from repro.offchip.simple import AlwaysOffChipPredictor, NeverOffChipPredictor
+
+
+def make_engine(predictor=None, config=None):
+    controller = MemoryController()
+    engine = HermesEngine(predictor or AlwaysOffChipPredictor(), controller,
+                          config or HermesConfig())
+    return engine, controller
+
+
+def test_config_variants():
+    assert HermesConfig.optimistic().issue_latency == 6
+    assert HermesConfig.pessimistic().issue_latency == 18
+    assert not HermesConfig.disabled().enabled
+    with pytest.raises(ValueError):
+        HermesConfig(issue_latency=-1).validate()
+    with pytest.raises(ValueError):
+        HermesConfig(drain_interval=0).validate()
+
+
+def test_positive_prediction_issues_hermes_request():
+    engine, controller = make_engine()
+    decision = engine.predict_and_issue(pc=0x400, address=0x100000, cycle=100)
+    assert decision.predicted_offchip
+    assert decision.hermes_ready is not None
+    assert controller.stats.hermes_requests == 1
+    # The request entered the controller after the issue + address-generation latency.
+    assert decision.hermes_ready > 100 + engine.config.issue_latency
+
+
+def test_negative_prediction_issues_nothing():
+    engine, controller = make_engine(predictor=NeverOffChipPredictor())
+    decision = engine.predict_and_issue(pc=0x400, address=0x100000, cycle=100)
+    assert not decision.predicted_offchip
+    assert decision.hermes_ready is None
+    assert controller.stats.hermes_requests == 0
+
+
+def test_disabled_hermes_never_issues_even_with_positive_prediction():
+    engine, controller = make_engine(config=HermesConfig.disabled())
+    decision = engine.predict_and_issue(pc=0x400, address=0x100000, cycle=100)
+    assert decision.hermes_ready is None
+    assert controller.stats.hermes_requests == 0
+
+
+def test_issue_latency_delays_hermes_ready():
+    fast_engine, _ = make_engine(config=HermesConfig(issue_latency=0))
+    slow_engine, _ = make_engine(config=HermesConfig(issue_latency=24))
+    fast = fast_engine.predict_and_issue(0x400, 0x200000, cycle=0)
+    slow = slow_engine.predict_and_issue(0x400, 0x200000, cycle=0)
+    assert slow.hermes_ready - fast.hermes_ready == 24
+
+
+def test_training_counts_useful_requests_and_updates_predictor():
+    engine, _ = make_engine()
+    decision = engine.predict_and_issue(0x400, 0x300000, cycle=0)
+    engine.train(decision, went_offchip=True, hermes_used=True)
+    assert engine.stats.hermes_requests_useful == 1
+    assert engine.predictor.stats.true_positives == 1
+    decision = engine.predict_and_issue(0x400, 0x340000, cycle=10)
+    engine.train(decision, went_offchip=False, hermes_used=False)
+    assert engine.predictor.stats.false_positives == 1
+
+
+def test_unclaimed_requests_get_drained_periodically():
+    config = HermesConfig(drain_interval=4)
+    engine, controller = make_engine(config=config)
+    cycle = 0
+    for index in range(12):
+        cycle += 10000
+        engine.predict_and_issue(0x400, 0x400000 + index * 0x10000, cycle=cycle)
+    assert controller.stats.hermes_dropped > 0
+
+
+def test_storage_is_the_predictors_storage():
+    engine, _ = make_engine()
+    assert engine.storage_bits() == engine.predictor.storage_bits()
+    assert engine.storage_kb == engine.predictor.storage_kb
+
+
+def test_stats_accounting():
+    engine, _ = make_engine(predictor=NeverOffChipPredictor())
+    for index in range(5):
+        engine.predict_and_issue(0x400, index * 64, cycle=index)
+    assert engine.stats.loads_seen == 5
+    assert engine.stats.predicted_offchip == 0
+    assert engine.stats.hermes_requests_issued == 0

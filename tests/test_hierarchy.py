@@ -1,0 +1,145 @@
+"""Unit tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.prefetchers.base import NextLinePrefetcher
+
+
+def make_hierarchy(prefetcher=None):
+    return CacheHierarchy(prefetcher=prefetcher)
+
+
+def test_default_config_matches_table4():
+    config = HierarchyConfig()
+    assert config.l1d.size_bytes == 48 * 1024
+    assert config.l1d.latency == 5
+    assert config.l2.size_bytes == 1280 * 1024
+    assert config.l2.latency == 15
+    assert config.llc.size_bytes == 3 * 1024 * 1024
+    assert config.llc.latency == 55
+    assert config.llc.replacement == "ship"
+    assert config.onchip_miss_latency == 75
+    assert config.post_l1_latency == 70
+
+
+def test_cold_load_goes_offchip_and_fills_all_levels():
+    hierarchy = make_hierarchy()
+    outcome = hierarchy.load(0x100000, pc=0x400, cycle=0)
+    assert outcome.went_offchip
+    assert outcome.served_by == "DRAM"
+    assert outcome.onchip_latency == hierarchy.onchip_miss_latency
+    assert outcome.latency > hierarchy.onchip_miss_latency
+    # The block is now resident everywhere.
+    assert hierarchy.l1d.probe(0x100000)
+    assert hierarchy.l2.probe(0x100000)
+    assert hierarchy.llc.probe(0x100000)
+
+
+def test_l1_hit_after_fill():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100000, pc=0x400, cycle=0)
+    outcome = hierarchy.load(0x100008, pc=0x400, cycle=1000)
+    assert not outcome.went_offchip
+    assert outcome.served_by == "L1D"
+    assert outcome.latency == hierarchy.l1d.latency
+
+
+def test_l2_hit_when_l1_evicted():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100000, pc=0x400, cycle=0)
+    hierarchy.l1d.invalidate(0x100000)
+    outcome = hierarchy.load(0x100000, pc=0x400, cycle=1000)
+    assert outcome.served_by == "L2"
+    assert outcome.latency == hierarchy.l1d.latency + hierarchy.l2.latency
+
+
+def test_llc_hit_when_l1_l2_evicted():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x100000, pc=0x400, cycle=0)
+    hierarchy.l1d.invalidate(0x100000)
+    hierarchy.l2.invalidate(0x100000)
+    outcome = hierarchy.load(0x100000, pc=0x400, cycle=1000)
+    assert outcome.served_by == "LLC"
+    assert outcome.latency == hierarchy.onchip_miss_latency
+
+
+def test_hermes_wait_hides_onchip_latency():
+    hierarchy = make_hierarchy()
+    # Simulate a Hermes request that completes shortly after the on-chip miss
+    # is discovered; the load should complete at the Hermes-ready cycle.
+    hermes_ready = 120
+    outcome = hierarchy.load(0x200000, pc=0x400, cycle=0, hermes_ready=hermes_ready)
+    assert outcome.went_offchip
+    assert outcome.hermes_used
+    assert outcome.completion_cycle == max(hierarchy.onchip_miss_latency, hermes_ready)
+    assert hierarchy.stats.hermes_waits == 1
+
+
+def test_hermes_wait_never_earlier_than_llc_miss_detection():
+    hierarchy = make_hierarchy()
+    outcome = hierarchy.load(0x300000, pc=0x400, cycle=0, hermes_ready=10)
+    assert outcome.completion_cycle >= hierarchy.onchip_miss_latency
+
+
+def test_baseline_offchip_slower_than_hermes_offchip():
+    baseline = make_hierarchy()
+    with_hermes = make_hierarchy()
+    plain = baseline.load(0x400000, pc=0x400, cycle=0)
+    hermes_ready = with_hermes.memory_controller.access(0x400000, 10).ready_cycle
+    assisted = with_hermes.load(0x400000, pc=0x400, cycle=0, hermes_ready=hermes_ready)
+    assert assisted.latency < plain.latency
+
+
+def test_mshr_merge_on_back_to_back_misses():
+    hierarchy = make_hierarchy()
+    first = hierarchy.load(0x500000, pc=0x400, cycle=0)
+    merged = hierarchy.load(0x500008, pc=0x404, cycle=1)
+    assert merged.served_by == "MSHR"
+    assert merged.completion_cycle <= first.completion_cycle
+    assert not merged.went_offchip
+
+
+def test_store_allocates_into_hierarchy():
+    hierarchy = make_hierarchy()
+    hierarchy.store(0x600000, pc=0x400, cycle=0)
+    assert hierarchy.l1d.probe(0x600000)
+    assert hierarchy.stats.stores == 1
+
+
+def test_would_go_offchip_oracle():
+    hierarchy = make_hierarchy()
+    assert hierarchy.would_go_offchip(0x700000, cycle=0)
+    hierarchy.load(0x700000, pc=0x400, cycle=0)
+    assert not hierarchy.would_go_offchip(0x700000, cycle=1000)
+
+
+def test_prefetcher_reduces_offchip_loads_on_stream():
+    plain = make_hierarchy()
+    prefetching = make_hierarchy(prefetcher=NextLinePrefetcher(degree=4))
+    base = 0x800000
+    cycle = 0
+    for index in range(256):
+        address = base + index * 64
+        plain.load(address, pc=0x400, cycle=cycle)
+        prefetching.load(address, pc=0x400, cycle=cycle)
+        cycle += 200
+    assert prefetching.stats.offchip_loads < plain.stats.offchip_loads
+    assert prefetching.stats.llc_prefetch_issued > 0
+
+
+def test_llc_mpki_metric():
+    hierarchy = make_hierarchy()
+    hierarchy.load(0x900000, pc=0x400, cycle=0)
+    assert hierarchy.llc_mpki(1000) == pytest.approx(1.0)
+    assert hierarchy.llc_mpki(0) == 0.0
+
+
+def test_shared_llc_between_two_hierarchies():
+    shared = make_hierarchy()
+    other = CacheHierarchy(llc=shared.llc, memory_controller=shared.memory_controller)
+    shared.load(0xA00000, pc=0x400, cycle=0)
+    # The second core misses its private L1/L2 but hits the shared LLC.
+    outcome = other.load(0xA00000, pc=0x400, cycle=1000)
+    assert outcome.served_by == "LLC"
+    assert not outcome.went_offchip

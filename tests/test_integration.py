@@ -1,0 +1,156 @@
+"""Integration tests: end-to-end behaviour the paper's claims rest on.
+
+These tests run small but complete simulations and check the *qualitative*
+relationships of the paper (Hermes helps, POPET beats HMP, Hermes adds
+little memory traffic, the Ideal study upper-bounds POPET, and so on).
+"""
+
+import pytest
+
+from repro.analysis.metrics import geomean
+from repro.sim.config import SystemConfig
+from repro.sim.multicore import simulate_multicore
+from repro.sim.simulator import simulate_trace
+from repro.workloads.suite import make_trace, multicore_mixes
+
+#: Irregular workloads where off-chip loads matter (the Hermes target domain).
+IRREGULAR = ["spec06.mcf_chase", "parsec.canneal", "cvp.server_int", "ligra.pagerank"]
+ACCESSES = 8000
+
+
+@pytest.fixture(scope="module")
+def irregular_traces():
+    return [make_trace(name, num_accesses=ACCESSES) for name in IRREGULAR]
+
+
+@pytest.fixture(scope="module")
+def results(irregular_traces):
+    """Run the four headline configurations once over the irregular traces."""
+    configs = {
+        "noprefetch": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
+        "hermes": SystemConfig.with_hermes("popet", prefetcher="none"),
+        "pythia+hermes": SystemConfig.with_hermes("popet", prefetcher="pythia"),
+        "pythia+ideal": SystemConfig.with_hermes("ideal", prefetcher="pythia"),
+    }
+    return {label: [simulate_trace(config, trace) for trace in irregular_traces]
+            for label, config in configs.items()}
+
+
+def _geomean_speedup(results, label, baseline="noprefetch"):
+    pairs = zip(results[label], results[baseline])
+    return geomean([a.ipc / b.ipc for a, b in pairs])
+
+
+def test_hermes_improves_over_no_prefetching(results):
+    assert _geomean_speedup(results, "hermes") > 1.02
+
+
+def test_hermes_on_top_of_pythia_improves_over_pythia_alone(results):
+    combined = _geomean_speedup(results, "pythia+hermes")
+    pythia = _geomean_speedup(results, "pythia")
+    assert combined > pythia
+
+
+def test_ideal_hermes_upper_bounds_popet_hermes(results):
+    ideal = _geomean_speedup(results, "pythia+ideal")
+    popet = _geomean_speedup(results, "pythia+hermes")
+    assert ideal >= popet * 0.99
+
+
+def test_popet_accuracy_and_coverage_are_high_on_irregular_workloads(results):
+    accuracies = [r.predictor_accuracy for r in results["pythia+hermes"]]
+    coverages = [r.predictor_coverage for r in results["pythia+hermes"]]
+    assert sum(accuracies) / len(accuracies) > 0.6
+    assert sum(coverages) / len(coverages) > 0.7
+
+
+def test_hermes_memory_overhead_is_much_lower_than_pythias(results):
+    """Fig. 15(b): Hermes adds far fewer main-memory requests than Pythia."""
+    def overhead(label):
+        extra = []
+        for run, base in zip(results[label], results["noprefetch"]):
+            if base.main_memory_requests:
+                extra.append((run.main_memory_requests - base.main_memory_requests)
+                             / base.main_memory_requests)
+        return sum(extra) / len(extra)
+
+    assert overhead("hermes") < 0.6
+    assert overhead("hermes") < overhead("pythia") + 0.05
+
+
+def test_hermes_reduces_offchip_stall_cycles(results):
+    hermes_stalls = sum(r.core.stall_cycles_offchip for r in results["pythia+hermes"])
+    pythia_stalls = sum(r.core.stall_cycles_offchip for r in results["pythia"])
+    assert hermes_stalls < pythia_stalls
+
+
+def test_correct_predictions_translate_into_consumed_hermes_requests(results):
+    for run in results["pythia+hermes"]:
+        issued = run.hermes["hermes_requests_issued"]
+        useful = run.hermes["hermes_requests_useful"]
+        assert issued >= useful
+        if run.core.offchip_loads:
+            assert useful > 0
+
+
+def test_streaming_workload_is_covered_by_pythia():
+    trace = make_trace("parsec.streamcluster", num_accesses=6000)
+    noprefetch = simulate_trace(SystemConfig.no_prefetching(), trace)
+    pythia = simulate_trace(SystemConfig.baseline("pythia"), trace)
+    assert pythia.llc_mpki < 0.5 * noprefetch.llc_mpki
+
+
+def test_popet_beats_hmp_accuracy_and_coverage_on_irregular_workload():
+    trace = make_trace("spec06.mcf_chase", num_accesses=ACCESSES)
+    popet = simulate_trace(SystemConfig.with_hermes("popet", prefetcher="pythia"), trace)
+    hmp = simulate_trace(SystemConfig.with_hermes("hmp", prefetcher="pythia"), trace)
+    assert popet.predictor_accuracy > hmp.predictor_accuracy
+    assert popet.predictor_coverage > hmp.predictor_coverage
+
+
+def test_ttp_keeps_high_coverage_on_irregular_workload():
+    trace = make_trace("cvp.server_db", num_accesses=ACCESSES)
+    popet = simulate_trace(SystemConfig.with_hermes("popet", prefetcher="pythia"), trace)
+    ttp = simulate_trace(SystemConfig.with_hermes("ttp", prefetcher="pythia"), trace)
+    assert ttp.predictor_coverage >= 0.8
+    assert ttp.predictor_coverage >= popet.predictor_coverage - 0.15
+
+
+def test_ttp_accuracy_collapses_under_an_effective_prefetcher():
+    """TTP does not see prefetch fills, so covered loads become false positives."""
+    trace = make_trace("spec06.libq_stream", num_accesses=ACCESSES)
+    popet = simulate_trace(SystemConfig.with_hermes("popet", prefetcher="pythia"), trace)
+    ttp = simulate_trace(SystemConfig.with_hermes("ttp", prefetcher="pythia"), trace)
+    assert ttp.predictor_accuracy < 0.5
+    assert ttp.predictor_accuracy <= popet.predictor_accuracy + 0.05
+
+
+def test_pessimistic_hermes_not_faster_than_optimistic():
+    trace = make_trace("parsec.canneal", num_accesses=ACCESSES)
+    optimistic = simulate_trace(
+        SystemConfig.with_hermes("popet", prefetcher="pythia", optimistic=True), trace)
+    pessimistic = simulate_trace(
+        SystemConfig.with_hermes("popet", prefetcher="pythia", optimistic=False), trace)
+    assert optimistic.ipc >= pessimistic.ipc * 0.98
+
+
+def test_multicore_hermes_improves_throughput():
+    mixes = multicore_mixes(num_cores=4, num_mixes=1, num_accesses=3000, seed=7)
+    mix = mixes[0]
+    baseline = simulate_multicore(SystemConfig.no_prefetching(), mix)
+    pythia = simulate_multicore(SystemConfig.baseline("pythia"), mix)
+    hermes = simulate_multicore(SystemConfig.with_hermes("popet", prefetcher="pythia"),
+                                mix)
+    assert hermes.throughput > baseline.throughput
+    assert hermes.throughput > pythia.throughput * 0.98
+    assert len(hermes.per_core) == 4
+    assert hermes.speedup_over(baseline) > 1.0
+
+
+def test_multicore_result_aggregates_predictor_stats():
+    mixes = multicore_mixes(num_cores=2, num_mixes=1, num_accesses=2000, seed=11)
+    result = simulate_multicore(SystemConfig.with_hermes("popet", prefetcher="pythia"),
+                                mixes[0])
+    assert 0.0 <= result.predictor["accuracy"] <= 1.0
+    assert result.predictor["true_positives"] >= 0

@@ -1,0 +1,190 @@
+"""Unit tests for the prefetcher implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.address import BLOCK_SIZE, PAGE_SIZE, page_number
+from repro.prefetchers import (
+    BingoPrefetcher,
+    MLOPPrefetcher,
+    NextLinePrefetcher,
+    NoPrefetcher,
+    PythiaPrefetcher,
+    SMSPrefetcher,
+    SPPPrefetcher,
+    StridePrefetcher,
+    StreamerPrefetcher,
+    available_prefetchers,
+    make_prefetcher,
+)
+
+ALL_NAMES = ["none", "next_line", "stride", "streamer", "spp", "bingo", "mlop",
+             "sms", "pythia"]
+
+
+def drive_stream(prefetcher, base=0x100000, count=200, stride_blocks=1, pc=0x400):
+    """Feed a sequential stream and collect all candidates."""
+    candidates = []
+    for index in range(count):
+        address = base + index * stride_blocks * BLOCK_SIZE
+        candidates.extend(prefetcher.on_demand_access(address, pc, cycle=index * 50,
+                                                      hit=False))
+    return candidates
+
+
+def test_factory_lists_and_builds_all():
+    assert set(ALL_NAMES) <= set(available_prefetchers())
+    for name in ALL_NAMES:
+        prefetcher = make_prefetcher(name)
+        assert prefetcher.name == name
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_prefetcher("not-a-prefetcher")
+
+
+def test_no_prefetcher_never_prefetches():
+    assert drive_stream(NoPrefetcher()) == []
+
+
+def test_next_line_prefetches_sequential_lines():
+    prefetcher = NextLinePrefetcher(degree=2)
+    candidates = prefetcher.on_demand_access(0x100000, 0x400, 0, hit=False)
+    assert candidates == [0x100040, 0x100080]
+
+
+def test_next_line_does_not_cross_page():
+    prefetcher = NextLinePrefetcher(degree=4)
+    last_line = 0x100000 + PAGE_SIZE - BLOCK_SIZE
+    assert prefetcher.on_demand_access(last_line, 0x400, 0, hit=False) == []
+
+
+def test_stride_prefetcher_learns_constant_stride():
+    prefetcher = StridePrefetcher(degree=2)
+    candidates = drive_stream(prefetcher, stride_blocks=2, count=20)
+    assert candidates, "stride prefetcher should trigger after confidence builds"
+    # All candidates must continue the detected +2-block stride.
+    deltas = {(c // BLOCK_SIZE) % 2 for c in candidates}
+    assert deltas == {0}
+
+
+def test_streamer_detects_ascending_stream():
+    prefetcher = StreamerPrefetcher(degree=2)
+    candidates = drive_stream(prefetcher, count=30)
+    assert candidates
+    assert all(c % BLOCK_SIZE == 0 for c in candidates)
+
+
+@pytest.mark.parametrize("cls", [SPPPrefetcher, MLOPPrefetcher, PythiaPrefetcher])
+def test_delta_learning_prefetchers_cover_a_stream(cls):
+    prefetcher = cls()
+    candidates = drive_stream(prefetcher, count=400)
+    assert len(candidates) > 0
+
+
+@pytest.mark.parametrize("cls", [SMSPrefetcher, BingoPrefetcher])
+def test_footprint_prefetchers_cover_recurring_regions(cls):
+    """SMS/Bingo learn per-region footprints and replay them when regions recur."""
+    prefetcher = cls(active_regions=8)
+    candidates = []
+    for round_index in range(2):
+        for region in range(32):
+            page = 0x100000 + region * PAGE_SIZE
+            for offset in (0, 5, 9):
+                candidates.extend(prefetcher.on_demand_access(
+                    page + offset * BLOCK_SIZE, pc=0x440,
+                    cycle=round_index * 100000 + region * 100, hit=False))
+    assert len(candidates) > 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_candidates_stay_within_the_demand_page(name):
+    prefetcher = make_prefetcher(name)
+    base = 0x340000
+    for index in range(300):
+        address = base + (index * 3 % 64) * BLOCK_SIZE
+        for candidate in prefetcher.on_demand_access(address, 0x400 + (index % 7) * 4,
+                                                     cycle=index * 20, hit=False):
+            assert page_number(candidate) == page_number(address)
+            assert candidate >= 0
+
+
+def test_sms_replays_footprint_on_trigger_repeat():
+    prefetcher = SMSPrefetcher(active_regions=1)
+    page_a, page_b, page_c = 0x100000, 0x200000, 0x300000
+    # Build a footprint in page A: trigger at offset 0, then lines 3 and 7.
+    for offset in (0, 3, 7):
+        prefetcher.on_demand_access(page_a + offset * BLOCK_SIZE, pc=0x404, cycle=0,
+                                    hit=False)
+    # Touch another page so page A's generation is committed to the PHT.
+    prefetcher.on_demand_access(page_b, pc=0x800, cycle=10, hit=False)
+    # Same trigger (PC 0x404, offset 0) in a new page replays the footprint.
+    candidates = prefetcher.on_demand_access(page_c, pc=0x404, cycle=20, hit=False)
+    offsets = sorted((c - page_c) // BLOCK_SIZE for c in candidates)
+    assert offsets == [3, 7]
+
+
+def test_bingo_falls_back_to_short_event():
+    prefetcher = BingoPrefetcher(active_regions=1)
+    page_a, page_b, page_c = 0x400000, 0x500000, 0x600000
+    for offset in (5, 6, 9):
+        prefetcher.on_demand_access(page_a + offset * BLOCK_SIZE, pc=0x40C, cycle=0,
+                                    hit=False)
+    prefetcher.on_demand_access(page_b, pc=0x999, cycle=5, hit=False)
+    # New page, same PC and same trigger offset: the PC+offset event matches.
+    candidates = prefetcher.on_demand_access(page_c + 5 * BLOCK_SIZE, pc=0x40C,
+                                             cycle=10, hit=False)
+    offsets = sorted((c - page_c) // BLOCK_SIZE for c in candidates)
+    assert offsets == [6, 9]
+
+
+def test_pythia_stops_prefetching_random_pattern():
+    prefetcher = PythiaPrefetcher(seed=3)
+    import random
+    rng = random.Random(11)
+    issued_late = 0
+    total = 4000
+    for index in range(total):
+        page = rng.randrange(4096)
+        offset = rng.randrange(64)
+        address = (page << 12) | (offset << 6)
+        candidates = prefetcher.on_demand_access(address, pc=0x400, cycle=index * 30,
+                                                 hit=False)
+        if index > total // 2:
+            issued_late += len(candidates)
+    # After training on a purely random pattern, prefetching should be rare.
+    assert issued_late < total // 8
+
+
+def test_pythia_is_deterministic_given_seed():
+    a = PythiaPrefetcher(seed=7)
+    b = PythiaPrefetcher(seed=7)
+    assert drive_stream(a, count=100) == drive_stream(b, count=100)
+
+
+def test_storage_bits_match_paper_table6():
+    assert make_prefetcher("pythia").storage_kb == pytest.approx(25.5)
+    assert make_prefetcher("bingo").storage_kb == pytest.approx(46.0)
+    assert make_prefetcher("spp").storage_kb == pytest.approx(39.3, abs=0.05)
+    assert make_prefetcher("mlop").storage_kb == pytest.approx(8.0)
+    assert make_prefetcher("sms").storage_kb == pytest.approx(20.0)
+
+
+def test_stats_count_observations_and_candidates():
+    prefetcher = NextLinePrefetcher()
+    prefetcher.on_demand_access(0x100000, 0x400, 0, hit=False)
+    assert prefetcher.stats.accesses_observed == 1
+    assert prefetcher.stats.candidates_issued == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(ALL_NAMES),
+       st.lists(st.tuples(st.integers(0, 1 << 20), st.integers(0, 63)), max_size=150))
+def test_prefetchers_never_crash_or_emit_negative_addresses(name, accesses):
+    prefetcher = make_prefetcher(name)
+    for index, (page, offset) in enumerate(accesses):
+        address = (page << 12) | (offset << 6)
+        for candidate in prefetcher.on_demand_access(address, pc=0x400 + page % 16,
+                                                     cycle=index * 10, hit=bool(index % 2)):
+            assert candidate >= 0

@@ -1,0 +1,108 @@
+"""Unit tests for cache replacement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+    make_replacement_policy,
+)
+
+
+@pytest.mark.parametrize("name", ["lru", "random", "srrip", "ship"])
+def test_factory_builds_every_policy(name):
+    policy = make_replacement_policy(name, num_sets=4, num_ways=4)
+    assert policy.num_sets == 4
+    assert policy.num_ways == 4
+
+
+def test_factory_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        make_replacement_policy("belady", 4, 4)
+
+
+def test_policies_reject_bad_geometry():
+    with pytest.raises(ValueError):
+        LRUPolicy(0, 4)
+    with pytest.raises(ValueError):
+        LRUPolicy(4, 0)
+
+
+def test_lru_prefers_invalid_way():
+    policy = LRUPolicy(1, 4)
+    assert policy.victim(0, [True, False, True, True]) == 1
+
+
+def test_lru_evicts_least_recently_used():
+    policy = LRUPolicy(1, 3)
+    for way in range(3):
+        policy.on_fill(0, way, pc=way, address=way * 64)
+    policy.on_hit(0, 0, pc=0, address=0)
+    assert policy.victim(0, [True, True, True]) == 1
+
+
+def test_srrip_hit_promotes_block():
+    policy = SRRIPPolicy(1, 2)
+    policy.on_fill(0, 0, pc=1, address=0)
+    policy.on_fill(0, 1, pc=2, address=64)
+    policy.on_hit(0, 0, pc=1, address=0)
+    # Way 0 was promoted to RRPV 0, so way 1 should be evicted.
+    assert policy.victim(0, [True, True]) == 1
+
+
+def test_ship_untrained_signature_inserts_with_near_rrpv():
+    policy = SHiPPolicy(1, 2)
+    policy.on_fill(0, 0, pc=0x400, address=0)
+    assert policy._rrpv[0][0] == SHiPPolicy.MAX_RRPV - 1
+
+
+def test_ship_learns_dead_signature():
+    policy = SHiPPolicy(1, 2)
+    pc = 0x404
+    # Fill and evict the same signature repeatedly without reuse.
+    for _ in range(3):
+        policy.on_fill(0, 0, pc=pc, address=0)
+        policy.on_eviction(0, 0, address=0, was_reused=False)
+    policy.on_fill(0, 0, pc=pc, address=0)
+    # The signature's counter reached zero: insertion is distant (evict-first).
+    assert policy._rrpv[0][0] == SHiPPolicy.MAX_RRPV
+
+
+def test_ship_reused_signature_keeps_near_insertion():
+    policy = SHiPPolicy(1, 2)
+    pc = 0x408
+    policy.on_fill(0, 0, pc=pc, address=0)
+    policy.on_hit(0, 0, pc=pc, address=0)
+    policy.on_fill(0, 1, pc=pc, address=64)
+    assert policy._rrpv[0][1] == SHiPPolicy.MAX_RRPV - 1
+
+
+def test_random_policy_is_deterministic_with_seed():
+    a = RandomPolicy(1, 8, seed=3)
+    b = RandomPolicy(1, 8, seed=3)
+    valid = [True] * 8
+    assert [a.victim(0, valid) for _ in range(10)] == [b.victim(0, valid) for _ in range(10)]
+
+
+@pytest.mark.parametrize("name", ["lru", "srrip", "ship", "random"])
+@given(data=st.data())
+def test_victim_always_in_range(name, data):
+    ways = data.draw(st.integers(min_value=1, max_value=8))
+    policy = make_replacement_policy(name, num_sets=2, num_ways=ways)
+    valid = data.draw(st.lists(st.booleans(), min_size=ways, max_size=ways))
+    operations = data.draw(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, ways - 1), st.integers(0, 1 << 20)),
+        max_size=20))
+    for kind, way, address in operations:
+        if kind == 0:
+            policy.on_fill(0, way, pc=address, address=address * 64)
+        else:
+            policy.on_hit(0, way, pc=address, address=address * 64)
+    victim = policy.victim(0, valid)
+    assert 0 <= victim < ways
+    # When an invalid way exists, it must be preferred.
+    if not all(valid):
+        assert valid[victim] is False

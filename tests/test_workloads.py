@@ -1,0 +1,165 @@
+"""Unit tests for the trace format and synthetic workload generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    CATEGORIES,
+    GraphAnalyticsWorkload,
+    MemoryAccess,
+    MixedIrregularWorkload,
+    PointerChaseWorkload,
+    ServerWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+    Trace,
+    make_trace,
+    multicore_mixes,
+    workload_names,
+    workload_suite,
+)
+
+GENERATORS = [
+    StreamingWorkload("stream"),
+    StridedWorkload("strided"),
+    PointerChaseWorkload("chase"),
+    GraphAnalyticsWorkload("graph"),
+    MixedIrregularWorkload("mixed"),
+    ServerWorkload("server"),
+]
+
+
+def test_trace_metadata_and_counts():
+    trace = Trace(name="t", category="TEST", accesses=[
+        MemoryAccess(pc=0x400, address=0x1000, nonmem_before=4),
+        MemoryAccess(pc=0x404, address=0x2000, is_load=False, nonmem_before=2),
+    ])
+    assert len(trace) == 2
+    assert trace.load_count == 1
+    assert trace.store_count == 1
+    assert trace.instruction_count == 4 + 1 + 2 + 1
+    assert trace.unique_blocks() == 2
+    assert trace.unique_pcs() == 2
+    assert trace.footprint_bytes() == 128
+    summary = trace.summary()
+    assert summary["name"] == "t"
+    assert summary["loads"] == 1
+
+
+def test_trace_truncation():
+    trace = make_trace("ligra.bfs", num_accesses=500)
+    shorter = trace.truncated(100)
+    assert len(shorter) == 100
+    assert shorter.name == trace.name
+    with pytest.raises(ValueError):
+        trace.truncated(-1)
+
+
+def test_memory_access_store_property():
+    assert MemoryAccess(pc=1, address=2, is_load=False).is_store
+    assert not MemoryAccess(pc=1, address=2, is_load=True).is_store
+
+
+@pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.name)
+def test_generators_produce_requested_length(generator):
+    trace = generator.generate(1500)
+    assert len(trace) == 1500
+    assert all(access.address >= 0 for access in trace)
+    assert all(access.pc > 0 for access in trace)
+    assert trace.load_count > 0
+
+
+@pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.name)
+def test_generators_are_deterministic(generator):
+    first = generator.generate(400)
+    second = generator.generate(400)
+    assert [(a.pc, a.address, a.is_load) for a in first] == \
+        [(a.pc, a.address, a.is_load) for a in second]
+
+
+def test_generators_reject_bad_length():
+    with pytest.raises(ValueError):
+        StreamingWorkload("bad").generate(0)
+
+
+def test_streaming_workload_is_sequential_per_stream():
+    trace = StreamingWorkload("stream", num_streams=1, store_fraction=0.0,
+                              dependent_fraction=0.0).generate(100)
+    addresses = [access.address for access in trace]
+    deltas = {b - a for a, b in zip(addresses, addresses[1:])}
+    assert deltas == {8}
+
+
+def test_pointer_chase_marks_dependent_loads():
+    trace = PointerChaseWorkload("chase").generate(2000)
+    assert any(access.depends_on_previous_load for access in trace)
+
+
+def test_graph_workload_mixes_streaming_and_irregular_pcs():
+    trace = GraphAnalyticsWorkload("graph").generate(2000)
+    pcs = {access.pc for access in trace}
+    assert len(pcs) >= 4
+
+
+def test_suite_catalogue_covers_every_category():
+    assert set(CATEGORIES) == {"SPEC06", "SPEC17", "PARSEC", "Ligra", "CVP"}
+    for category in CATEGORIES:
+        names = workload_names(category)
+        assert len(names) >= 3
+    assert len(workload_names()) >= 15
+
+
+def test_workload_names_rejects_unknown_category():
+    with pytest.raises(ValueError):
+        workload_names("SPEC99")
+
+
+def test_make_trace_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        make_trace("not.a.workload")
+
+
+def test_make_trace_assigns_category():
+    trace = make_trace("ligra.pagerank", num_accesses=100)
+    assert trace.category == "Ligra"
+    assert len(trace) == 100
+
+
+def test_workload_suite_respects_per_category_limit():
+    traces = workload_suite(num_accesses=100, per_category=1)
+    assert len(traces) == len(CATEGORIES)
+    categories = [trace.category for trace in traces]
+    assert categories == CATEGORIES
+
+
+def test_workload_suite_category_filter():
+    traces = workload_suite(num_accesses=100, categories=["Ligra"])
+    assert all(trace.category == "Ligra" for trace in traces)
+
+
+def test_multicore_mixes_shapes():
+    mixes = multicore_mixes(num_cores=4, num_mixes=2, num_accesses=50)
+    assert len(mixes) == 2
+    assert all(len(mix) == 4 for mix in mixes)
+    homogeneous = multicore_mixes(num_cores=2, num_mixes=1, num_accesses=50,
+                                  homogeneous=True)
+    names = {trace.name for trace in homogeneous[0]}
+    assert len(names) == 1
+
+
+def test_multicore_mixes_deterministic_given_seed():
+    first = multicore_mixes(num_cores=4, num_mixes=2, num_accesses=20, seed=5)
+    second = multicore_mixes(num_cores=4, num_mixes=2, num_accesses=20, seed=5)
+    assert [[t.name for t in mix] for mix in first] == \
+        [[t.name for t in mix] for mix in second]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(workload_names()), st.integers(min_value=1, max_value=500))
+def test_every_catalogue_workload_generates_valid_traces(name, length):
+    trace = make_trace(name, num_accesses=length)
+    assert len(trace) == length
+    assert trace.instruction_count >= length
+    for access in trace:
+        assert access.nonmem_before >= 0
+        assert access.address >= 0
