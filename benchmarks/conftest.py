@@ -9,26 +9,50 @@ Python timing model on synthetic traces, not ChampSim on SPEC traces);
 see EXPERIMENTS.md for the side-by-side comparison.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
-tables.
+tables.  Set ``REPRO_PARALLEL=1`` (and optionally
+``REPRO_MAX_WORKERS=N``) to fan each figure's job matrix out over a
+process pool; results are bit-identical to the serial default.
+``REPRO_RESULT_CACHE=dir`` additionally memoises finished jobs on disk.
 """
 
 from __future__ import annotations
+
+import os
+from typing import Optional
 
 import pytest
 
 from repro.experiments import ExperimentSetup
 
 
+def _env_parallel() -> bool:
+    value = os.environ.get("REPRO_PARALLEL", "")
+    return value.lower() not in ("", "0", "false", "no", "off")
+
+
+def _env_max_workers() -> Optional[int]:
+    value = os.environ.get("REPRO_MAX_WORKERS", "")
+    return int(value) if value else None
+
+
+def _make_setup(num_accesses: int, per_category: int) -> ExperimentSetup:
+    return ExperimentSetup(num_accesses=num_accesses, per_category=per_category,
+                           parallel=_env_parallel(),
+                           max_workers=_env_max_workers(),
+                           result_cache_dir=os.environ.get("REPRO_RESULT_CACHE")
+                           or None)
+
+
 @pytest.fixture(scope="session")
 def default_setup() -> ExperimentSetup:
     """Standard sizing: two workloads per category, 6000 memory ops each."""
-    return ExperimentSetup(num_accesses=6000, per_category=2)
+    return _make_setup(num_accesses=6000, per_category=2)
 
 
 @pytest.fixture(scope="session")
 def small_setup() -> ExperimentSetup:
     """Reduced sizing for the heavier sweeps (many configurations)."""
-    return ExperimentSetup(num_accesses=4000, per_category=1)
+    return _make_setup(num_accesses=4000, per_category=1)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -8,43 +8,51 @@ paper's takeaway — Hermes's highly accurate speculative requests cost
 far less bandwidth than prefetching, so it shines when bandwidth is
 scarce — should be visible in the printed table.
 
+The whole sweep runs through the experiment job runner, so ``--parallel``
+fans the (bandwidth x system x workload) matrix out over a process pool
+with bit-identical results.
+
 Usage::
 
-    python examples/bandwidth_sensitivity.py [num_accesses]
+    python examples/bandwidth_sensitivity.py [num_accesses] [--parallel] [--workers N]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
-from repro import SystemConfig, geomean_speedup, simulate_suite, workload_suite
+from repro.experiments import ExperimentSetup
+from repro.experiments.sensitivity import run_fig17a_bandwidth_sensitivity
 
 
 def main() -> None:
-    num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
-    traces = workload_suite(num_accesses=num_accesses, per_category=1)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("num_accesses", nargs="?", type=int, default=5000)
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the sweep over a process pool")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: all CPUs)")
+    args = parser.parse_args()
+
+    setup = ExperimentSetup(num_accesses=args.num_accesses, per_category=1,
+                            parallel=args.parallel, max_workers=args.workers)
     mtps_points = (800, 1600, 3200, 6400)
 
+    backend = "process pool" if args.parallel else "serial"
     print(f"Sweeping DRAM bandwidth over {mtps_points} MTPS "
-          f"({len(traces)} workloads x {num_accesses} accesses)")
+          f"({len(setup.workload_names())} workloads x {args.num_accesses} "
+          f"accesses, {backend} backend)")
     print()
+    table = run_fig17a_bandwidth_sensitivity(setup, mtps_values=mtps_points)
+
     header = f"{'MTPS':>6}{'hermes':>10}{'pythia':>10}{'pythia+hermes':>16}"
     print(header)
     print("-" * len(header))
-    for mtps in mtps_points:
-        baseline = simulate_suite(
-            SystemConfig.no_prefetching().with_memory_bandwidth(mtps), traces)
-        hermes = simulate_suite(
-            SystemConfig.with_hermes("popet").with_memory_bandwidth(mtps), traces)
-        pythia = simulate_suite(
-            SystemConfig.baseline("pythia").with_memory_bandwidth(mtps), traces)
-        combined = simulate_suite(
-            SystemConfig.with_hermes("popet", prefetcher="pythia")
-            .with_memory_bandwidth(mtps), traces)
+    for mtps, row in table.items():
         print(f"{mtps:>6}"
-              f"{geomean_speedup(hermes, baseline):>10.3f}"
-              f"{geomean_speedup(pythia, baseline):>10.3f}"
-              f"{geomean_speedup(combined, baseline):>16.3f}")
+              f"{row['hermes']:>10.3f}"
+              f"{row['pythia']:>10.3f}"
+              f"{row['pythia+hermes']:>16.3f}")
 
     print()
     print("Expected shape (paper Fig. 17a): Pythia+Hermes beats Pythia at every "

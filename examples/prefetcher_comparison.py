@@ -6,36 +6,59 @@ SPP, MLOP, SMS) run the evaluation suite with the prefetcher alone and
 with Hermes-O added, and report geomean speedups over the no-prefetching
 system plus POPET's accuracy/coverage in each combination (Fig. 21).
 
+The whole (prefetcher x system x workload) matrix is submitted to the
+experiment job runner in one batch, so ``--parallel`` spreads it over a
+process pool with bit-identical results.
+
 Usage::
 
-    python examples/prefetcher_comparison.py [num_accesses] [workloads_per_category]
+    python examples/prefetcher_comparison.py [num_accesses] [per_category]
+        [--parallel] [--workers N]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
-from repro import SystemConfig, geomean_speedup, simulate_suite, workload_suite
+from repro import SystemConfig, geomean_speedup
 from repro.analysis import average
+from repro.experiments import ExperimentSetup, run_matrix
 
 
 def main() -> None:
-    num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
-    per_category = int(sys.argv[2]) if len(sys.argv) > 2 else 1
-    traces = workload_suite(num_accesses=num_accesses, per_category=per_category)
-    print(f"Evaluation suite: {len(traces)} workloads x {num_accesses} memory accesses")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("num_accesses", nargs="?", type=int, default=6000)
+    parser.add_argument("per_category", nargs="?", type=int, default=1)
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the sweep over a process pool")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: all CPUs)")
+    args = parser.parse_args()
+
+    setup = ExperimentSetup(num_accesses=args.num_accesses,
+                            per_category=args.per_category,
+                            parallel=args.parallel, max_workers=args.workers)
+    prefetchers = ("pythia", "bingo", "spp", "mlop", "sms")
+    backend = "process pool" if args.parallel else "serial"
+    print(f"Evaluation suite: {len(setup.workload_names())} workloads x "
+          f"{args.num_accesses} memory accesses ({backend} backend)")
     print()
 
-    baseline = simulate_suite(SystemConfig.no_prefetching(), traces)
+    matrix = {"baseline": SystemConfig.no_prefetching()}
+    for prefetcher in prefetchers:
+        matrix[f"{prefetcher}/alone"] = SystemConfig.baseline(prefetcher)
+        matrix[f"{prefetcher}/hermes"] = SystemConfig.with_hermes(
+            "popet", prefetcher=prefetcher)
+    results = run_matrix(setup, matrix)
+    baseline = results["baseline"]
 
     header = (f"{'prefetcher':<10}{'alone':>10}{'+Hermes-O':>12}"
               f"{'delta':>9}{'POPET acc':>11}{'POPET cov':>11}")
     print(header)
     print("-" * len(header))
-    for prefetcher in ("pythia", "bingo", "spp", "mlop", "sms"):
-        alone = simulate_suite(SystemConfig.baseline(prefetcher), traces)
-        combined = simulate_suite(
-            SystemConfig.with_hermes("popet", prefetcher=prefetcher), traces)
+    for prefetcher in prefetchers:
+        alone = results[f"{prefetcher}/alone"]
+        combined = results[f"{prefetcher}/hermes"]
         speedup_alone = geomean_speedup(alone, baseline)
         speedup_combined = geomean_speedup(combined, baseline)
         accuracy = average(r.predictor_accuracy for r in combined)

@@ -25,6 +25,15 @@ from repro.dram import DRAMConfig, MemoryController
 from repro.memory import Cache, CacheConfig, CacheHierarchy, HierarchyConfig
 from repro.offchip import POPET, POPETConfig, make_predictor
 from repro.prefetchers import make_prefetcher
+from repro.runner import (
+    JobRunner,
+    PredictorSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SimJob,
+    SweepSpec,
+)
 from repro.sim import (
     MultiCoreResult,
     SimulationResult,
@@ -69,6 +78,14 @@ __all__ = [
     "simulate_multicore",
     "SimulationResult",
     "MultiCoreResult",
+    # orchestration
+    "SimJob",
+    "SweepSpec",
+    "PredictorSpec",
+    "JobRunner",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
     # analysis
     "geomean",
     "geomean_speedup",

@@ -93,6 +93,7 @@ class CoreStats:
             "nonblocking_offchip_loads": self.nonblocking_offchip_loads,
             "stall_cycles_offchip": self.stall_cycles_offchip,
             "stall_cycles_offchip_onchip_portion": self.stall_cycles_offchip_onchip_portion,
+            "stall_cycles_other": self.stall_cycles_other,
             "average_offchip_stall": self.average_offchip_stall,
         }
 

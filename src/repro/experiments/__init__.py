@@ -1,15 +1,25 @@
 """Experiment runners: one function per paper figure/table.
 
-Every function takes sizing knobs (trace length, workloads per category)
-so the same code can run as a quick benchmark or as a fuller overnight
+Every function takes an :class:`ExperimentSetup` carrying sizing knobs
+(trace length, workloads per category) and execution knobs
+(``parallel``/``max_workers``/``result_cache_dir``), so the same code
+can run as a quick serial benchmark or as a fuller parallel overnight
 sweep, and returns plain dictionaries/lists that the benchmark harness
-prints as the rows/series of the corresponding paper figure.
+prints as the rows/series of the corresponding paper figure.  Sweeps
+are declared as :class:`~repro.runner.job.SimJob` matrices executed by
+the :mod:`repro.runner` subsystem.
 
-See DESIGN.md section 4 for the experiment index mapping figures/tables
-to these runners and to the benchmark files that invoke them.
+See EXPERIMENTS.md for the experiment index mapping figures/tables to
+these runners and to the benchmark files that invoke them, and
+DESIGN.md for the architecture.
 """
 
-from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.experiments.common import (
+    ExperimentSetup,
+    run_config_over_suite,
+    run_matrix,
+    run_suite,
+)
 from repro.experiments.motivation import (
     run_fig02_offchip_loads,
     run_fig03_stall_cycles,
@@ -45,6 +55,8 @@ from repro.experiments.storage import run_table3_storage, run_table6_storage
 __all__ = [
     "ExperimentSetup",
     "run_config_over_suite",
+    "run_matrix",
+    "run_suite",
     "run_fig02_offchip_loads",
     "run_fig03_stall_cycles",
     "run_fig04_ideal_hermes",

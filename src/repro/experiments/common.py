@@ -1,40 +1,140 @@
-"""Shared experiment scaffolding."""
+"""Shared experiment scaffolding, built on the runner subsystem.
+
+Every ``run_fig*`` runner declares its sweep as :class:`SimJob` lists
+(via :func:`run_matrix` / :func:`run_suite`) and reduces the results;
+the :class:`ExperimentSetup` decides how those jobs execute — serially
+by default, or fanned out over a process pool with ``parallel=True``,
+optionally memoised on disk with ``result_cache_dir``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.runner import (
+    ExecutionBackend,
+    JobRunner,
+    PredictorSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SimJob,
+    SweepSpec,
+    jobs_for_suite,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate_trace
-from repro.workloads.suite import CATEGORIES, workload_suite
+from repro.workloads.suite import CATEGORIES, workload_names, workload_suite
 from repro.workloads.trace import Trace
+
+#: A matrix entry: a configuration, optionally paired with a predictor
+#: recipe for experiments that inject custom-feature POPET variants.
+ConfigEntry = Union[SystemConfig, Tuple[SystemConfig, Optional[PredictorSpec]]]
 
 
 @dataclass
 class ExperimentSetup:
-    """Sizing knobs shared by every experiment runner.
+    """Sizing and execution knobs shared by every experiment runner.
 
-    The defaults are deliberately small so the full benchmark harness runs
-    in minutes; increase ``num_accesses`` and ``per_category`` for a
-    fuller sweep (the paper's shapes already emerge at the defaults).
+    The sizing defaults are deliberately small so the full benchmark
+    harness runs in minutes; increase ``num_accesses`` and
+    ``per_category`` for a fuller sweep (the paper's shapes already
+    emerge at the defaults).  ``parallel=True`` runs each sweep's jobs
+    over a process pool (``max_workers`` bounds the pool) with results
+    bit-identical to the serial default; ``result_cache_dir`` memoises
+    finished jobs on disk across runs.
     """
 
     num_accesses: int = 10000
     per_category: Optional[int] = 2
     categories: Sequence[str] = field(default_factory=lambda: list(CATEGORIES))
+    parallel: bool = False
+    max_workers: Optional[int] = None
+    result_cache_dir: Optional[Union[str, Path]] = None
+
+    def workload_names(self) -> List[str]:
+        """The evaluation workload names for this setup, in suite order."""
+        names: List[str] = []
+        for category in self.categories:
+            selected = workload_names(category)
+            if self.per_category is not None:
+                selected = selected[:self.per_category]
+            names.extend(selected)
+        return names
 
     def build_suite(self) -> List[Trace]:
-        """Generate the evaluation workload traces for this setup."""
+        """Generate the evaluation workload traces for this setup.
+
+        Served from the process-wide trace cache: repeated calls (e.g.
+        several experiments sharing one setup) return the same trace
+        objects without regeneration.
+        """
         return workload_suite(num_accesses=self.num_accesses,
                               categories=self.categories,
                               per_category=self.per_category)
 
+    def make_backend(self) -> ExecutionBackend:
+        if self.parallel:
+            return ProcessPoolBackend(max_workers=self.max_workers)
+        return SerialBackend()
+
+    def runner(self) -> JobRunner:
+        """A job runner honouring this setup's current execution knobs.
+
+        Built fresh per call (construction is trivial; pools are created
+        per batch), so mutating ``parallel``/``max_workers``/
+        ``result_cache_dir`` between sweeps takes effect immediately.
+        """
+        cache = (ResultCache(self.result_cache_dir)
+                 if self.result_cache_dir is not None else None)
+        return JobRunner(backend=self.make_backend(), result_cache=cache)
+
+    def jobs(self, config: SystemConfig,
+             predictor_spec: Optional[PredictorSpec] = None) -> List[SimJob]:
+        """One single-core job per suite workload under ``config``."""
+        return jobs_for_suite(config, self.workload_names(),
+                              self.num_accesses, predictor_spec)
+
+
+def run_suite(setup: ExperimentSetup, config: SystemConfig,
+              predictor_spec: Optional[PredictorSpec] = None,
+              ) -> List[SimulationResult]:
+    """Run the setup's suite through one configuration."""
+    return setup.runner().run(setup.jobs(config, predictor_spec))
+
+
+def run_matrix(setup: ExperimentSetup,
+               configs: Mapping[str, ConfigEntry],
+               ) -> Dict[str, List[SimulationResult]]:
+    """Run several configurations over the setup's suite, keyed by label.
+
+    All (config x workload) jobs are submitted to the backend as one
+    batch, so a process pool parallelises across the whole matrix, not
+    just within one configuration.
+    """
+    jobs: List[SimJob] = []
+    spans: Dict[str, Tuple[int, int]] = {}
+    for label, entry in configs.items():
+        config, spec = entry if isinstance(entry, tuple) else (entry, None)
+        start = len(jobs)
+        jobs.extend(setup.jobs(config, spec))
+        spans[label] = (start, len(jobs))
+    sweep = SweepSpec(name="matrix", jobs=jobs)
+    results = setup.runner().run_sweep(sweep)
+    return {label: results[start:end] for label, (start, end) in spans.items()}
+
 
 def run_config_over_suite(config: SystemConfig,
                           traces: Sequence[Trace]) -> List[SimulationResult]:
-    """Run every trace through (a fresh instance of) one configuration."""
+    """Run every trace through (a fresh instance of) one configuration.
+
+    Legacy serial helper for callers holding explicit trace objects;
+    the experiment runners go through :func:`run_matrix` /
+    :func:`run_suite` so backends and caches apply.
+    """
     return [simulate_trace(config, trace) for trace in traces]
 
 

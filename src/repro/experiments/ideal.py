@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import geomean_speedup
-from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.experiments.common import ExperimentSetup, run_matrix
 from repro.sim.config import SystemConfig
 
 
@@ -24,21 +24,26 @@ def run_fig04_ideal_hermes(setup: Optional[ExperimentSetup] = None,
     "ideal hermes alone" entry, matching Fig. 4(a).
     """
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-
-    table: Dict[str, Dict[str, float]] = {}
-    ideal_alone = run_config_over_suite(
-        SystemConfig.with_hermes("ideal", prefetcher="none"), traces)
-    table["ideal-hermes-alone"] = {
-        "speedup": geomean_speedup(ideal_alone, baseline)}
-
+    matrix = {
+        "baseline": SystemConfig.no_prefetching(),
+        "ideal-hermes-alone": SystemConfig.with_hermes("ideal", prefetcher="none"),
+    }
     for prefetcher in prefetchers:
-        only = run_config_over_suite(SystemConfig.baseline(prefetcher), traces)
-        combined = run_config_over_suite(
-            SystemConfig.with_hermes("ideal", prefetcher=prefetcher), traces)
+        matrix[f"{prefetcher}/only"] = SystemConfig.baseline(prefetcher)
+        matrix[f"{prefetcher}/ideal"] = SystemConfig.with_hermes(
+            "ideal", prefetcher=prefetcher)
+    results = run_matrix(setup, matrix)
+    baseline = results["baseline"]
+
+    table: Dict[str, Dict[str, float]] = {
+        "ideal-hermes-alone": {
+            "speedup": geomean_speedup(results["ideal-hermes-alone"], baseline)},
+    }
+    for prefetcher in prefetchers:
         table[prefetcher] = {
-            "prefetcher_only": geomean_speedup(only, baseline),
-            "prefetcher_plus_ideal_hermes": geomean_speedup(combined, baseline),
+            "prefetcher_only": geomean_speedup(results[f"{prefetcher}/only"],
+                                               baseline),
+            "prefetcher_plus_ideal_hermes": geomean_speedup(
+                results[f"{prefetcher}/ideal"], baseline),
         }
     return table

@@ -14,7 +14,7 @@ from collections import defaultdict
 from typing import Dict, Optional
 
 from repro.analysis.metrics import average
-from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.experiments.common import ExperimentSetup, run_matrix, run_suite
 from repro.sim.config import SystemConfig
 
 
@@ -25,9 +25,11 @@ def run_fig02_offchip_loads(setup: Optional[ExperimentSetup] = None) -> Dict[str
     the no-prefetching system's off-chip load count as in the paper.
     """
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    pythia = run_config_over_suite(SystemConfig.baseline("pythia"), traces)
+    results = run_matrix(setup, {
+        "noprefetch": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
+    })
+    noprefetch, pythia = results["noprefetch"], results["pythia"]
 
     table: Dict[str, Dict[str, float]] = {}
     grouped: Dict[str, list] = defaultdict(list)
@@ -60,8 +62,7 @@ def run_fig03_stall_cycles(setup: Optional[ExperimentSetup] = None) -> Dict[str,
     share, growing for the irregular categories.
     """
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    pythia = run_config_over_suite(SystemConfig.baseline("pythia"), traces)
+    pythia = run_suite(setup, SystemConfig.baseline("pythia"))
 
     table: Dict[str, Dict[str, float]] = {}
     grouped: Dict[str, list] = defaultdict(list)
@@ -87,8 +88,7 @@ def run_fig03_stall_cycles(setup: Optional[ExperimentSetup] = None) -> Dict[str,
 def run_fig05_offchip_rate(setup: Optional[ExperimentSetup] = None) -> Dict[str, Dict[str, float]]:
     """Fraction of loads that go off-chip and LLC MPKI in the Pythia baseline."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    pythia = run_config_over_suite(SystemConfig.baseline("pythia"), traces)
+    pythia = run_suite(setup, SystemConfig.baseline("pythia"))
 
     grouped: Dict[str, list] = defaultdict(list)
     for result in pythia:

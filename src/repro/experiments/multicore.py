@@ -2,42 +2,54 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import geomean
+from repro.experiments.common import ExperimentSetup
+from repro.runner import SimJob
 from repro.sim.config import SystemConfig
-from repro.sim.multicore import simulate_multicore
-from repro.workloads.suite import multicore_mixes
+from repro.workloads.suite import multicore_mix_names
 
 
 def run_fig16_multicore(num_cores: int = 8, num_mixes: int = 3,
                         num_accesses: int = 4000,
                         predictors: Sequence[str] = ("hmp", "ttp", "popet"),
-                        seed: int = 99) -> Dict[str, float]:
+                        seed: int = 99,
+                        setup: Optional[ExperimentSetup] = None) -> Dict[str, float]:
     """Geomean throughput speedup of Pythia + Hermes-{HMP,TTP,POPET} over no-prefetching.
 
     Uses heterogeneous multi-programmed mixes (one workload per core) over a
-    shared LLC and the paper's 4-channel eight-core memory system.
+    shared LLC and the paper's 4-channel eight-core memory system.  ``setup``
+    only supplies execution knobs (``parallel``/``max_workers``/caching);
+    mix sizing comes from the explicit arguments.
     """
-    mixes = multicore_mixes(num_cores=num_cores, num_mixes=num_mixes,
-                            num_accesses=num_accesses, seed=seed)
-    baseline_throughputs = []
-    config_throughputs: Dict[str, list] = {"pythia": []}
+    setup = setup or ExperimentSetup()
+    mixes = multicore_mix_names(num_cores=num_cores, num_mixes=num_mixes,
+                                seed=seed)
+    configs: Dict[str, SystemConfig] = {
+        "baseline": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
+    }
     for predictor in predictors:
-        config_throughputs[f"pythia+hermes-{predictor}"] = []
+        configs[f"pythia+hermes-{predictor}"] = SystemConfig.with_hermes(
+            predictor, prefetcher="pythia")
 
-    for mix in mixes:
-        baseline = simulate_multicore(SystemConfig.no_prefetching(), mix)
-        baseline_throughputs.append(baseline.throughput)
-        pythia = simulate_multicore(SystemConfig.baseline("pythia"), mix)
-        config_throughputs["pythia"].append(pythia.throughput)
-        for predictor in predictors:
-            config = SystemConfig.with_hermes(predictor, prefetcher="pythia")
-            result = simulate_multicore(config, mix)
-            config_throughputs[f"pythia+hermes-{predictor}"].append(result.throughput)
+    jobs: List[SimJob] = [
+        SimJob(config=config, workload=tuple(mix), num_accesses=num_accesses,
+               mode="multicore")
+        for config in configs.values()
+        for mix in mixes
+    ]
+    results = setup.runner().run(jobs)
+    throughputs = {
+        label: [results[config_index * len(mixes) + mix_index].throughput
+                for mix_index in range(len(mixes))]
+        for config_index, label in enumerate(configs)
+    }
 
+    baseline_throughputs = throughputs.pop("baseline")
     table: Dict[str, float] = {}
-    for label, throughputs in config_throughputs.items():
-        speedups = [t / b for t, b in zip(throughputs, baseline_throughputs) if b > 0]
+    for label, values in throughputs.items():
+        speedups = [t / b for t, b in zip(values, baseline_throughputs) if b > 0]
         table[label] = geomean(speedups)
     return table

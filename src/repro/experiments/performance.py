@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.metrics import (
     average,
@@ -13,7 +13,7 @@ from repro.analysis.metrics import (
     stall_reduction,
 )
 from repro.analysis.power import PowerModel
-from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.experiments.common import ExperimentSetup, run_matrix
 from repro.sim.config import SystemConfig
 
 
@@ -34,30 +34,28 @@ def run_fig12_singlecore_speedup(setup: Optional[ExperimentSetup] = None,
                                  ) -> Dict[str, Dict[str, float]]:
     """Per-category geomean speedup of the Fig. 12 systems over no-prefetching."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    table: Dict[str, Dict[str, float]] = {}
-    for label, config in _standard_configs().items():
-        results = run_config_over_suite(config, traces)
-        table[label] = speedup_by_category(results, baseline)
-    return table
+    matrix = {"baseline": SystemConfig.no_prefetching()}
+    matrix.update(_standard_configs())
+    results = run_matrix(setup, matrix)
+    baseline = results.pop("baseline")
+    return {label: speedup_by_category(rs, baseline)
+            for label, rs in results.items()}
 
 
 def run_fig13_per_workload_speedup(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[str, Dict[str, float]]:
     """Per-workload speedups of Hermes, Pythia and Pythia+Hermes (Fig. 13 line graph)."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    configs = {
+    results = run_matrix(setup, {
+        "baseline": SystemConfig.no_prefetching(),
         "hermes-O": SystemConfig.with_hermes("popet", prefetcher="none"),
         "pythia": SystemConfig.baseline("pythia"),
         "pythia+hermes-O": SystemConfig.with_hermes("popet", prefetcher="pythia"),
-    }
-    baseline_by_workload = {r.workload: r for r in baseline}
+    })
+    baseline_by_workload = {r.workload: r for r in results.pop("baseline")}
     table: Dict[str, Dict[str, float]] = defaultdict(dict)
-    for label, config in configs.items():
-        for result in run_config_over_suite(config, traces):
+    for label, rs in results.items():
+        for result in rs:
             table[result.workload][label] = result.speedup_over(
                 baseline_by_workload[result.workload])
     return dict(table)
@@ -69,56 +67,55 @@ def run_fig14_predictor_comparison(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[str, float]:
     """Geomean speedup of Pythia + Hermes-{HMP, TTP, POPET, Ideal} over no-prefetching."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    table: Dict[str, float] = {
-        "pythia": geomean_speedup(
-            run_config_over_suite(SystemConfig.baseline("pythia"), traces), baseline),
+    matrix = {
+        "baseline": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
     }
     for predictor in predictors:
-        config = SystemConfig.with_hermes(predictor, prefetcher="pythia")
-        results = run_config_over_suite(config, traces)
-        table[f"pythia+hermes-{predictor}"] = geomean_speedup(results, baseline)
-    return table
+        matrix[f"pythia+hermes-{predictor}"] = SystemConfig.with_hermes(
+            predictor, prefetcher="pythia")
+    results = run_matrix(setup, matrix)
+    baseline = results.pop("baseline")
+    return {label: geomean_speedup(rs, baseline) for label, rs in results.items()}
 
 
 def run_fig15_stalls_and_overhead(setup: Optional[ExperimentSetup] = None,
                                   ) -> Dict[str, float]:
     """Fig. 15(a): stall-cycle reduction of Hermes; Fig. 15(b): memory-request overhead."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    pythia = run_config_over_suite(SystemConfig.baseline("pythia"), traces)
-    pythia_hermes = run_config_over_suite(
-        SystemConfig.with_hermes("popet", prefetcher="pythia"), traces)
-    hermes_only = run_config_over_suite(
-        SystemConfig.with_hermes("popet", prefetcher="none"), traces)
+    results = run_matrix(setup, {
+        "noprefetch": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
+        "pythia+hermes": SystemConfig.with_hermes("popet", prefetcher="pythia"),
+        "hermes": SystemConfig.with_hermes("popet", prefetcher="none"),
+    })
     return {
-        "stall_reduction_pct_vs_pythia": stall_reduction(pythia_hermes, pythia),
-        "memory_overhead_pct_hermes": main_memory_overhead(hermes_only, noprefetch),
-        "memory_overhead_pct_pythia": main_memory_overhead(pythia, noprefetch),
-        "memory_overhead_pct_pythia_hermes": main_memory_overhead(pythia_hermes,
-                                                                  noprefetch),
+        "stall_reduction_pct_vs_pythia": stall_reduction(results["pythia+hermes"],
+                                                         results["pythia"]),
+        "memory_overhead_pct_hermes": main_memory_overhead(results["hermes"],
+                                                           results["noprefetch"]),
+        "memory_overhead_pct_pythia": main_memory_overhead(results["pythia"],
+                                                           results["noprefetch"]),
+        "memory_overhead_pct_pythia_hermes": main_memory_overhead(
+            results["pythia+hermes"], results["noprefetch"]),
     }
 
 
 def run_fig18_power(setup: Optional[ExperimentSetup] = None) -> Dict[str, float]:
     """Runtime dynamic power of Hermes / Pythia / Pythia+Hermes vs no-prefetching."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
     model = PowerModel()
-    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    baseline_by_workload = {r.workload: r for r in noprefetch}
-    table: Dict[str, float] = {"no-prefetching": 1.0}
-    configs = {
+    results = run_matrix(setup, {
+        "no-prefetching": SystemConfig.no_prefetching(),
         "hermes": SystemConfig.with_hermes("popet", prefetcher="none"),
         "pythia": SystemConfig.baseline("pythia"),
         "pythia+hermes": SystemConfig.with_hermes("popet", prefetcher="pythia"),
-    }
-    for label, config in configs.items():
-        results = run_config_over_suite(config, traces)
+    })
+    baseline_by_workload = {r.workload: r for r in results.pop("no-prefetching")}
+    table: Dict[str, float] = {"no-prefetching": 1.0}
+    for label, rs in results.items():
         ratios = [model.relative_power(result, baseline_by_workload[result.workload])
-                  for result in results]
+                  for result in rs]
         table[label] = average(ratios)
     return table
 
@@ -129,15 +126,19 @@ def run_fig22_overhead_by_prefetcher(setup: Optional[ExperimentSetup] = None,
                                      ) -> Dict[str, Dict[str, float]]:
     """Main-memory request overhead of each prefetcher alone and with Hermes."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    noprefetch = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    table: Dict[str, Dict[str, float]] = {}
+    matrix = {"noprefetch": SystemConfig.no_prefetching()}
     for prefetcher in prefetchers:
-        only = run_config_over_suite(SystemConfig.baseline(prefetcher), traces)
-        combined = run_config_over_suite(
-            SystemConfig.with_hermes("popet", prefetcher=prefetcher), traces)
-        table[prefetcher] = {
-            "prefetcher_pct": main_memory_overhead(only, noprefetch),
-            "prefetcher_plus_hermes_pct": main_memory_overhead(combined, noprefetch),
+        matrix[f"{prefetcher}/only"] = SystemConfig.baseline(prefetcher)
+        matrix[f"{prefetcher}/hermes"] = SystemConfig.with_hermes(
+            "popet", prefetcher=prefetcher)
+    results = run_matrix(setup, matrix)
+    noprefetch = results["noprefetch"]
+    return {
+        prefetcher: {
+            "prefetcher_pct": main_memory_overhead(results[f"{prefetcher}/only"],
+                                                   noprefetch),
+            "prefetcher_plus_hermes_pct": main_memory_overhead(
+                results[f"{prefetcher}/hermes"], noprefetch),
         }
-    return table
+        for prefetcher in prefetchers
+    }

@@ -7,6 +7,10 @@
   (shows no single feature wins everywhere).
 * Fig. 21 — POPET accuracy/coverage as the baseline prefetcher changes
   (including no prefetcher at all).
+
+The feature-ablation sweeps describe their POPET variants declaratively
+(:class:`~repro.runner.job.PredictorSpec`), so worker processes rebuild
+the custom-feature predictors through the registry.
 """
 
 from __future__ import annotations
@@ -15,11 +19,14 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import average
-from repro.experiments.common import ExperimentSetup, run_config_over_suite
+from repro.experiments.common import (
+    ConfigEntry,
+    ExperimentSetup,
+    PredictorSpec,
+    run_matrix,
+)
 from repro.offchip.features import SELECTED_FEATURES
-from repro.offchip.popet import POPET
 from repro.sim.config import SystemConfig
-from repro.sim.simulator import simulate_trace
 
 #: Short display names for the five selected features (Fig. 10/11 legend order).
 FEATURE_LABELS = {
@@ -40,11 +47,12 @@ def run_fig09_accuracy_coverage(setup: Optional[ExperimentSetup] = None,
     Returns ``{predictor: {category: {"accuracy": .., "coverage": ..}}}``.
     """
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
+    by_predictor = run_matrix(setup, {
+        predictor: SystemConfig.with_hermes(predictor, prefetcher=prefetcher)
+        for predictor in predictors
+    })
     table: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for predictor in predictors:
-        config = SystemConfig.with_hermes(predictor, prefetcher=prefetcher)
-        results = run_config_over_suite(config, traces)
+    for predictor, results in by_predictor.items():
         grouped: Dict[str, list] = defaultdict(list)
         for result in results:
             grouped[result.category].append(result)
@@ -63,39 +71,36 @@ def run_fig09_accuracy_coverage(setup: Optional[ExperimentSetup] = None,
     return table
 
 
-def _popet_with_features(features: Sequence[str]) -> POPET:
-    return POPET.with_features(list(features))
+def _popet_spec(features: Sequence[str]) -> PredictorSpec:
+    return PredictorSpec("popet", {"features": tuple(features)})
 
 
 def run_fig10_feature_ablation(setup: Optional[ExperimentSetup] = None,
                                prefetcher: str = "pythia") -> Dict[str, Dict[str, float]]:
     """Accuracy/coverage of POPET with individual features and stacked combinations."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
     # Individual features first, then cumulative combinations, then full POPET
     # — the same presentation as Fig. 10.
     variants: Dict[str, List[str]] = {}
     for feature in SELECTED_FEATURES:
         variants[FEATURE_LABELS.get(feature, feature)] = [feature]
-    stacked: List[str] = []
     for index, feature in enumerate(SELECTED_FEATURES[:-1], start=1):
-        stacked = SELECTED_FEATURES[:index + 1]
-        variants[f"top-{index + 1} combined"] = list(stacked)
+        variants[f"top-{index + 1} combined"] = list(SELECTED_FEATURES[:index + 1])
     variants["All (POPET)"] = list(SELECTED_FEATURES)
 
     config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
-    table: Dict[str, Dict[str, float]] = {}
-    for label, features in variants.items():
-        accuracies: List[float] = []
-        coverages: List[float] = []
-        for trace in traces:
-            predictor = _popet_with_features(features)
-            result = simulate_trace(config, trace, predictor=predictor)
-            accuracies.append(result.predictor_accuracy)
-            coverages.append(result.predictor_coverage)
-        table[label] = {"accuracy": average(accuracies),
-                        "coverage": average(coverages)}
-    return table
+    matrix: Dict[str, ConfigEntry] = {
+        label: (config, _popet_spec(features))
+        for label, features in variants.items()
+    }
+    by_variant = run_matrix(setup, matrix)
+    return {
+        label: {
+            "accuracy": average(r.predictor_accuracy for r in results),
+            "coverage": average(r.predictor_coverage for r in results),
+        }
+        for label, results in by_variant.items()
+    }
 
 
 def run_fig11_feature_variability(setup: Optional[ExperimentSetup] = None,
@@ -107,19 +112,20 @@ def run_fig11_feature_variability(setup: Optional[ExperimentSetup] = None,
     the data behind the claim that no single feature is best everywhere.
     """
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
     config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
-    table: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for trace in traces:
-        per_feature: Dict[str, Dict[str, float]] = {}
-        for feature in SELECTED_FEATURES:
-            predictor = _popet_with_features([feature])
-            result = simulate_trace(config, trace, predictor=predictor)
-            per_feature[FEATURE_LABELS.get(feature, feature)] = {
+    matrix: Dict[str, ConfigEntry] = {
+        FEATURE_LABELS.get(feature, feature): (config, _popet_spec([feature]))
+        for feature in SELECTED_FEATURES
+    }
+    by_feature = run_matrix(setup, matrix)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {
+        name: {} for name in setup.workload_names()}
+    for feature_label, results in by_feature.items():
+        for result in results:
+            table[result.workload][feature_label] = {
                 "accuracy": result.predictor_accuracy,
                 "coverage": result.predictor_coverage,
             }
-        table[trace.name] = per_feature
     return table
 
 
@@ -130,14 +136,19 @@ def run_fig21_accuracy_by_prefetcher(setup: Optional[ExperimentSetup] = None,
                                      ) -> Dict[str, Dict[str, float]]:
     """POPET accuracy/coverage when combined with different baseline prefetchers."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    table: Dict[str, Dict[str, float]] = {}
-    for prefetcher in prefetchers:
-        config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
-        results = run_config_over_suite(config, traces)
-        label = f"{prefetcher}+hermes" if prefetcher != "none" else "hermes alone"
-        table[label] = {
+    labels = {
+        prefetcher: (f"{prefetcher}+hermes" if prefetcher != "none"
+                     else "hermes alone")
+        for prefetcher in prefetchers
+    }
+    by_prefetcher = run_matrix(setup, {
+        labels[prefetcher]: SystemConfig.with_hermes("popet", prefetcher=prefetcher)
+        for prefetcher in prefetchers
+    })
+    return {
+        label: {
             "accuracy": average(r.predictor_accuracy for r in results),
             "coverage": average(r.predictor_coverage for r in results),
         }
-    return table
+        for label, results in by_prefetcher.items()
+    }

@@ -2,27 +2,23 @@
 
 Every runner sweeps one system parameter and reports the geomean speedup
 of Pythia alone and Pythia+Hermes over the no-prefetching system, so the
-benchmark output has the same series as the corresponding figure.
+benchmark output has the same series as the corresponding figure.  Each
+sweep submits its full (parameter x configuration x workload) job matrix
+in one batch, so a parallel backend spreads the whole figure at once.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.metrics import average, geomean_speedup
-from repro.experiments.common import ExperimentSetup, run_config_over_suite
-from repro.offchip.popet import POPET, POPETConfig
+from repro.experiments.common import (
+    ConfigEntry,
+    ExperimentSetup,
+    PredictorSpec,
+    run_matrix,
+)
 from repro.sim.config import SystemConfig
-from repro.sim.simulator import simulate_trace
-
-
-def _speedups_for(configs: Dict[str, SystemConfig],
-                  setup: ExperimentSetup) -> Dict[str, float]:
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    return {label: geomean_speedup(run_config_over_suite(config, traces), baseline)
-            for label, config in configs.items()}
 
 
 def run_fig17a_bandwidth_sensitivity(setup: Optional[ExperimentSetup] = None,
@@ -30,23 +26,26 @@ def run_fig17a_bandwidth_sensitivity(setup: Optional[ExperimentSetup] = None,
                                      ) -> Dict[int, Dict[str, float]]:
     """Speedups while scaling main-memory bandwidth (MTPS sweep, Fig. 17a)."""
     setup = setup or ExperimentSetup()
-    table: Dict[int, Dict[str, float]] = {}
+    matrix: Dict[str, ConfigEntry] = {}
     for mtps in mtps_values:
-        configs = {
-            "hermes": SystemConfig.with_hermes("popet").with_memory_bandwidth(mtps),
-            "pythia": SystemConfig.baseline("pythia").with_memory_bandwidth(mtps),
-            "pythia+hermes": SystemConfig.with_hermes(
-                "popet", prefetcher="pythia").with_memory_bandwidth(mtps),
-        }
         # The no-prefetching baseline must use the same bandwidth.
-        traces = setup.build_suite()
-        baseline = run_config_over_suite(
-            SystemConfig.no_prefetching().with_memory_bandwidth(mtps), traces)
-        table[mtps] = {
-            label: geomean_speedup(run_config_over_suite(config, traces), baseline)
-            for label, config in configs.items()
+        matrix[f"{mtps}/baseline"] = (
+            SystemConfig.no_prefetching().with_memory_bandwidth(mtps))
+        matrix[f"{mtps}/hermes"] = (
+            SystemConfig.with_hermes("popet").with_memory_bandwidth(mtps))
+        matrix[f"{mtps}/pythia"] = (
+            SystemConfig.baseline("pythia").with_memory_bandwidth(mtps))
+        matrix[f"{mtps}/pythia+hermes"] = SystemConfig.with_hermes(
+            "popet", prefetcher="pythia").with_memory_bandwidth(mtps)
+    results = run_matrix(setup, matrix)
+    return {
+        mtps: {
+            label: geomean_speedup(results[f"{mtps}/{label}"],
+                                   results[f"{mtps}/baseline"])
+            for label in ("hermes", "pythia", "pythia+hermes")
         }
-    return table
+        for mtps in mtps_values
+    }
 
 
 def run_fig17b_prefetcher_sensitivity(setup: Optional[ExperimentSetup] = None,
@@ -55,23 +54,26 @@ def run_fig17b_prefetcher_sensitivity(setup: Optional[ExperimentSetup] = None,
                                       ) -> Dict[str, Dict[str, float]]:
     """Hermes-P/O on top of each baseline prefetcher (Fig. 17b)."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    table: Dict[str, Dict[str, float]] = {}
+    matrix: Dict[str, ConfigEntry] = {"baseline": SystemConfig.no_prefetching()}
     for prefetcher in prefetchers:
-        only = run_config_over_suite(SystemConfig.baseline(prefetcher), traces)
-        hermes_p = run_config_over_suite(
-            SystemConfig.with_hermes("popet", prefetcher=prefetcher, optimistic=False),
-            traces)
-        hermes_o = run_config_over_suite(
-            SystemConfig.with_hermes("popet", prefetcher=prefetcher, optimistic=True),
-            traces)
-        table[prefetcher] = {
-            "prefetcher_only": geomean_speedup(only, baseline),
-            "prefetcher+hermes-P": geomean_speedup(hermes_p, baseline),
-            "prefetcher+hermes-O": geomean_speedup(hermes_o, baseline),
+        matrix[f"{prefetcher}/only"] = SystemConfig.baseline(prefetcher)
+        matrix[f"{prefetcher}/hermes-P"] = SystemConfig.with_hermes(
+            "popet", prefetcher=prefetcher, optimistic=False)
+        matrix[f"{prefetcher}/hermes-O"] = SystemConfig.with_hermes(
+            "popet", prefetcher=prefetcher, optimistic=True)
+    results = run_matrix(setup, matrix)
+    baseline = results["baseline"]
+    return {
+        prefetcher: {
+            "prefetcher_only": geomean_speedup(results[f"{prefetcher}/only"],
+                                               baseline),
+            "prefetcher+hermes-P": geomean_speedup(
+                results[f"{prefetcher}/hermes-P"], baseline),
+            "prefetcher+hermes-O": geomean_speedup(
+                results[f"{prefetcher}/hermes-O"], baseline),
         }
-    return table
+        for prefetcher in prefetchers
+    }
 
 
 def run_fig17c_issue_latency_sensitivity(setup: Optional[ExperimentSetup] = None,
@@ -79,17 +81,23 @@ def run_fig17c_issue_latency_sensitivity(setup: Optional[ExperimentSetup] = None
                                          ) -> Dict[int, Dict[str, float]]:
     """Speedup as the Hermes request issue latency varies (Fig. 17c)."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    pythia = geomean_speedup(
-        run_config_over_suite(SystemConfig.baseline("pythia"), traces), baseline)
-    table: Dict[int, Dict[str, float]] = {}
+    matrix: Dict[str, ConfigEntry] = {
+        "baseline": SystemConfig.no_prefetching(),
+        "pythia": SystemConfig.baseline("pythia"),
+    }
     for latency in latencies:
-        config = SystemConfig.with_hermes(
+        matrix[f"issue{latency}"] = SystemConfig.with_hermes(
             "popet", prefetcher="pythia").with_hermes_issue_latency(latency)
-        combined = geomean_speedup(run_config_over_suite(config, traces), baseline)
-        table[latency] = {"pythia": pythia, "pythia+hermes": combined}
-    return table
+    results = run_matrix(setup, matrix)
+    baseline = results["baseline"]
+    pythia = geomean_speedup(results["pythia"], baseline)
+    return {
+        latency: {
+            "pythia": pythia,
+            "pythia+hermes": geomean_speedup(results[f"issue{latency}"], baseline),
+        }
+        for latency in latencies
+    }
 
 
 def run_fig17d_cache_latency_sensitivity(setup: Optional[ExperimentSetup] = None,
@@ -97,21 +105,24 @@ def run_fig17d_cache_latency_sensitivity(setup: Optional[ExperimentSetup] = None
                                          ) -> Dict[int, Dict[str, float]]:
     """Speedup as the on-chip hierarchy (LLC) access latency varies (Fig. 17d)."""
     setup = setup or ExperimentSetup()
-    table: Dict[int, Dict[str, float]] = {}
+    matrix: Dict[str, ConfigEntry] = {}
     for latency in llc_latencies:
-        traces = setup.build_suite()
-        baseline = run_config_over_suite(
-            SystemConfig.no_prefetching().with_llc_latency(latency), traces)
-        pythia = run_config_over_suite(
-            SystemConfig.baseline("pythia").with_llc_latency(latency), traces)
-        combined = run_config_over_suite(
-            SystemConfig.with_hermes("popet", prefetcher="pythia").with_llc_latency(latency),
-            traces)
-        table[latency] = {
-            "pythia": geomean_speedup(pythia, baseline),
-            "pythia+hermes": geomean_speedup(combined, baseline),
+        matrix[f"{latency}/baseline"] = (
+            SystemConfig.no_prefetching().with_llc_latency(latency))
+        matrix[f"{latency}/pythia"] = (
+            SystemConfig.baseline("pythia").with_llc_latency(latency))
+        matrix[f"{latency}/pythia+hermes"] = SystemConfig.with_hermes(
+            "popet", prefetcher="pythia").with_llc_latency(latency)
+    results = run_matrix(setup, matrix)
+    return {
+        latency: {
+            "pythia": geomean_speedup(results[f"{latency}/pythia"],
+                                      results[f"{latency}/baseline"]),
+            "pythia+hermes": geomean_speedup(results[f"{latency}/pythia+hermes"],
+                                             results[f"{latency}/baseline"]),
         }
-    return table
+        for latency in llc_latencies
+    }
 
 
 def run_fig17e_activation_threshold(setup: Optional[ExperimentSetup] = None,
@@ -120,23 +131,21 @@ def run_fig17e_activation_threshold(setup: Optional[ExperimentSetup] = None,
                                     ) -> Dict[int, Dict[str, float]]:
     """POPET accuracy/coverage and Hermes speedup vs the activation threshold."""
     setup = setup or ExperimentSetup()
-    traces = setup.build_suite()
-    baseline = run_config_over_suite(SystemConfig.no_prefetching(), traces)
-    baseline_by_workload = {r.workload: r for r in baseline}
     config = SystemConfig.with_hermes("popet", prefetcher="pythia")
+    matrix: Dict[str, ConfigEntry] = {"baseline": SystemConfig.no_prefetching()}
+    for threshold in thresholds:
+        matrix[f"thr{threshold}"] = (
+            config, PredictorSpec("popet", {"activation_threshold": threshold}))
+    results = run_matrix(setup, matrix)
+    baseline_by_workload = {r.workload: r for r in results["baseline"]}
     table: Dict[int, Dict[str, float]] = {}
     for threshold in thresholds:
-        accuracies, coverages, speedups = [], [], []
-        for trace in traces:
-            predictor = POPET(POPETConfig(activation_threshold=threshold))
-            result = simulate_trace(config, trace, predictor=predictor)
-            accuracies.append(result.predictor_accuracy)
-            coverages.append(result.predictor_coverage)
-            speedups.append(result.speedup_over(baseline_by_workload[result.workload]))
+        rs = results[f"thr{threshold}"]
         table[threshold] = {
-            "accuracy": average(accuracies),
-            "coverage": average(coverages),
-            "speedup": average(speedups),
+            "accuracy": average(r.predictor_accuracy for r in rs),
+            "coverage": average(r.predictor_coverage for r in rs),
+            "speedup": average(
+                r.speedup_over(baseline_by_workload[r.workload]) for r in rs),
         }
     return table
 
@@ -146,21 +155,25 @@ def run_fig19_rob_size_sensitivity(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[int, Dict[str, float]]:
     """Speedup sensitivity to the reorder-buffer size (Fig. 19)."""
     setup = setup or ExperimentSetup()
-    table: Dict[int, Dict[str, float]] = {}
+    matrix: Dict[str, ConfigEntry] = {}
     for rob in rob_sizes:
-        traces = setup.build_suite()
-        baseline = run_config_over_suite(
-            SystemConfig.no_prefetching().with_rob_size(rob), traces)
-        table[rob] = {
-            "hermes": geomean_speedup(run_config_over_suite(
-                SystemConfig.with_hermes("popet").with_rob_size(rob), traces), baseline),
-            "pythia": geomean_speedup(run_config_over_suite(
-                SystemConfig.baseline("pythia").with_rob_size(rob), traces), baseline),
-            "pythia+hermes": geomean_speedup(run_config_over_suite(
-                SystemConfig.with_hermes("popet", prefetcher="pythia").with_rob_size(rob),
-                traces), baseline),
+        matrix[f"{rob}/baseline"] = (
+            SystemConfig.no_prefetching().with_rob_size(rob))
+        matrix[f"{rob}/hermes"] = (
+            SystemConfig.with_hermes("popet").with_rob_size(rob))
+        matrix[f"{rob}/pythia"] = (
+            SystemConfig.baseline("pythia").with_rob_size(rob))
+        matrix[f"{rob}/pythia+hermes"] = SystemConfig.with_hermes(
+            "popet", prefetcher="pythia").with_rob_size(rob)
+    results = run_matrix(setup, matrix)
+    return {
+        rob: {
+            label: geomean_speedup(results[f"{rob}/{label}"],
+                                   results[f"{rob}/baseline"])
+            for label in ("hermes", "pythia", "pythia+hermes")
         }
-    return table
+        for rob in rob_sizes
+    }
 
 
 def run_fig20_llc_size_sensitivity(setup: Optional[ExperimentSetup] = None,
@@ -168,20 +181,22 @@ def run_fig20_llc_size_sensitivity(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[float, Dict[str, float]]:
     """Speedup sensitivity to the per-core LLC size (Fig. 20)."""
     setup = setup or ExperimentSetup()
-    table: Dict[float, Dict[str, float]] = {}
+    matrix: Dict[str, ConfigEntry] = {}
     for size_mb in llc_sizes_mb:
-        traces = setup.build_suite()
-        baseline = run_config_over_suite(
-            SystemConfig.no_prefetching().with_llc_size_mb(size_mb), traces)
-        table[size_mb] = {
-            "hermes": geomean_speedup(run_config_over_suite(
-                SystemConfig.with_hermes("popet").with_llc_size_mb(size_mb), traces),
-                baseline),
-            "pythia": geomean_speedup(run_config_over_suite(
-                SystemConfig.baseline("pythia").with_llc_size_mb(size_mb), traces),
-                baseline),
-            "pythia+hermes": geomean_speedup(run_config_over_suite(
-                SystemConfig.with_hermes("popet", prefetcher="pythia")
-                .with_llc_size_mb(size_mb), traces), baseline),
+        matrix[f"{size_mb}/baseline"] = (
+            SystemConfig.no_prefetching().with_llc_size_mb(size_mb))
+        matrix[f"{size_mb}/hermes"] = (
+            SystemConfig.with_hermes("popet").with_llc_size_mb(size_mb))
+        matrix[f"{size_mb}/pythia"] = (
+            SystemConfig.baseline("pythia").with_llc_size_mb(size_mb))
+        matrix[f"{size_mb}/pythia+hermes"] = SystemConfig.with_hermes(
+            "popet", prefetcher="pythia").with_llc_size_mb(size_mb)
+    results = run_matrix(setup, matrix)
+    return {
+        size_mb: {
+            label: geomean_speedup(results[f"{size_mb}/{label}"],
+                                   results[f"{size_mb}/baseline"])
+            for label in ("hermes", "pythia", "pythia+hermes")
         }
-    return table
+        for size_mb in llc_sizes_mb
+    }

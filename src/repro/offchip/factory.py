@@ -1,42 +1,32 @@
-"""Factory for constructing off-chip predictors by name."""
+"""Factory helpers for constructing off-chip predictors by name.
+
+Construction goes through the decorator-driven registry in
+:mod:`repro.offchip.registry`: each predictor module registers itself
+with ``@register_predictor("name")`` at import time, so adding a new
+predictor never requires touching this module.  The imports below exist
+purely to trigger that registration.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, List
 
+from repro.offchip import hmp, ideal, popet, simple, ttp  # noqa: F401  (registration)
 from repro.offchip.base import OffChipPredictor
-from repro.offchip.hmp import HMPPredictor
-from repro.offchip.ideal import IdealPredictor
-from repro.offchip.popet import POPET
-from repro.offchip.simple import (
-    AlwaysOffChipPredictor,
-    NeverOffChipPredictor,
-    RandomPredictor,
-)
-from repro.offchip.ttp import TTPPredictor
-
-_REGISTRY: Dict[str, Callable[[], OffChipPredictor]] = {
-    "popet": POPET,
-    "hmp": HMPPredictor,
-    "ttp": TTPPredictor,
-    "ideal": IdealPredictor,
-    "always": AlwaysOffChipPredictor,
-    "never": NeverOffChipPredictor,
-    "random": RandomPredictor,
-}
+from repro.offchip.registry import predictor_registry
 
 
 def available_predictors() -> List[str]:
     """Names accepted by :func:`make_predictor`."""
-    return sorted(_REGISTRY)
+    return predictor_registry.names()
 
 
-def make_predictor(name: str) -> OffChipPredictor:
-    """Construct an off-chip predictor by name (``popet``/``hmp``/``ttp``/...)."""
-    try:
-        factory = _REGISTRY[name.lower()]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown off-chip predictor {name!r}; expected one of {available_predictors()}"
-        ) from exc
-    return factory()
+def make_predictor(name: str, **options: Any) -> OffChipPredictor:
+    """Construct an off-chip predictor by name (``popet``/``hmp``/``ttp``/...).
+
+    Keyword options are forwarded to the registered factory — e.g.
+    ``make_predictor("popet", features=["pc_xor_cl_offset"])`` or
+    ``make_predictor("popet", activation_threshold=-10)`` build the
+    POPET variants the ablation and sensitivity experiments use.
+    """
+    return predictor_registry.create(name, **options)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, List, Tuple
 
 from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.registry import register_predictor
 
 _COUNTER_MAX = 3
 _COUNTER_THRESHOLD = 2
@@ -128,6 +129,7 @@ class _HMPMetadata:
     gskew_indices: Tuple[int, int, int]
 
 
+@register_predictor("hmp")
 class HMPPredictor(OffChipPredictor):
     """Hybrid hit/miss predictor (local + gshare + gskew, majority vote)."""
 

@@ -12,11 +12,13 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Tuple
 
 from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.registry import register_predictor
 
 OracleFn = Callable[[int, int], bool]
 """Signature: (address, cycle) -> would the load go off-chip?"""
 
 
+@register_predictor("ideal")
 class IdealPredictor(OffChipPredictor):
     """Oracle predictor with perfect accuracy and coverage."""
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.registry import register_predictor
 from repro.offchip.features import (
     FeatureExtractor,
     FeatureSpec,
@@ -171,3 +172,19 @@ class POPET(OffChipPredictor):
         """Build a POPET variant with a custom feature subset (Figs. 10, 11)."""
         config = POPETConfig(feature_names=list(feature_names), **kwargs)
         return cls(config)
+
+
+@register_predictor("popet")
+def _build_popet(features: Optional[Sequence[str]] = None,
+                 **config_options: Any) -> POPET:
+    """Build POPET from registry options.
+
+    ``features`` selects a feature subset (Figs. 10/11); any other
+    keyword is forwarded to :class:`POPETConfig` (e.g.
+    ``activation_threshold`` for the Fig. 17e sweep).
+    """
+    if features is not None:
+        return POPET.with_features(list(features), **config_options)
+    if config_options:
+        return POPET(POPETConfig(**config_options))
+    return POPET()

@@ -1,0 +1,16 @@
+"""The off-chip predictor registry.
+
+Predictor modules self-register with :func:`register_predictor`; the
+factory helpers in :mod:`repro.offchip.factory` and the experiment job
+runner resolve names through :data:`predictor_registry`.
+"""
+
+from __future__ import annotations
+
+from repro.registry import Registry
+
+#: Registry of off-chip predictor factories, keyed by lower-cased name.
+predictor_registry: Registry = Registry("off-chip predictor")
+
+#: Decorator registering a predictor class or builder under a name.
+register_predictor = predictor_registry.register

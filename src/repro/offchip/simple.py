@@ -5,8 +5,10 @@ from __future__ import annotations
 from typing import Any, Tuple
 
 from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.registry import register_predictor
 
 
+@register_predictor("always")
 class AlwaysOffChipPredictor(OffChipPredictor):
     """Predicts every load goes off-chip (100% coverage, worst-case accuracy)."""
 
@@ -19,6 +21,7 @@ class AlwaysOffChipPredictor(OffChipPredictor):
         return None
 
 
+@register_predictor("never")
 class NeverOffChipPredictor(OffChipPredictor):
     """Never predicts off-chip (Hermes effectively disabled)."""
 
@@ -31,6 +34,7 @@ class NeverOffChipPredictor(OffChipPredictor):
         return None
 
 
+@register_predictor("random")
 class RandomPredictor(OffChipPredictor):
     """Predicts off-chip with a fixed probability (deterministic LCG)."""
 

@@ -25,8 +25,10 @@ from typing import Any, Tuple
 
 from repro.memory.address import BLOCK_BITS
 from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.offchip.registry import register_predictor
 
 
+@register_predictor("ttp")
 class TTPPredictor(OffChipPredictor):
     """Cacheline partial-tag tracking predictor."""
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.memory.address import BLOCK_SIZE, PAGE_SIZE, block_address, page_number
+from repro.prefetchers.registry import register_prefetcher
 
 
 @dataclass
@@ -74,6 +75,7 @@ class Prefetcher(ABC):
                 if c >= 0 and page_number(base_address) == page_number(c)]
 
 
+@register_prefetcher("none")
 class NoPrefetcher(Prefetcher):
     """The no-prefetching baseline every speedup in the paper is normalised to."""
 
@@ -83,6 +85,7 @@ class NoPrefetcher(Prefetcher):
         return []
 
 
+@register_prefetcher("next_line")
 class NextLinePrefetcher(Prefetcher):
     """Prefetch the next ``degree`` sequential cachelines on every access."""
 

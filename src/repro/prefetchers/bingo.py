@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.memory.address import LINES_PER_PAGE, page_number
 from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import register_prefetcher
 
 
 @dataclass
@@ -29,6 +30,7 @@ class _Generation:
     accesses: int = 0
 
 
+@register_prefetcher("bingo")
 class BingoPrefetcher(Prefetcher):
     """Bingo spatial prefetcher with PC+Address / PC+Offset events."""
 

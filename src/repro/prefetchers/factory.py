@@ -1,50 +1,41 @@
-"""Factory for constructing prefetchers by name.
+"""Factory helpers for constructing prefetchers by name.
 
-Keeping construction behind a registry lets configuration dataclasses,
-experiment runners and the CLI examples refer to prefetchers by the names
-the paper uses ("pythia", "bingo", "spp", "mlop", "sms", "none").
+Construction goes through the decorator-driven registry in
+:mod:`repro.prefetchers.registry`: each prefetcher module registers
+itself with ``@register_prefetcher("name")`` at import time, so
+configuration dataclasses, experiment runners and the CLI examples can
+refer to prefetchers by the names the paper uses ("pythia", "bingo",
+"spp", "mlop", "sms", "none") and new prefetchers plug in without
+touching this module.  The imports below exist purely to trigger that
+registration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, List
 
-from repro.prefetchers.base import NextLinePrefetcher, NoPrefetcher, Prefetcher
-from repro.prefetchers.bingo import BingoPrefetcher
-from repro.prefetchers.mlop import MLOPPrefetcher
-from repro.prefetchers.pythia import PythiaPrefetcher
-from repro.prefetchers.sms import SMSPrefetcher
-from repro.prefetchers.spp import SPPPrefetcher
-from repro.prefetchers.stride import StridePrefetcher, StreamerPrefetcher
-
-_REGISTRY: Dict[str, Callable[[], Prefetcher]] = {
-    "none": NoPrefetcher,
-    "next_line": NextLinePrefetcher,
-    "stride": StridePrefetcher,
-    "streamer": StreamerPrefetcher,
-    "spp": SPPPrefetcher,
-    "bingo": BingoPrefetcher,
-    "mlop": MLOPPrefetcher,
-    "sms": SMSPrefetcher,
-    "pythia": PythiaPrefetcher,
-}
+from repro.prefetchers import (  # noqa: F401  (registration)
+    base,
+    bingo,
+    mlop,
+    pythia,
+    sms,
+    spp,
+    stride,
+)
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import prefetcher_registry
 
 
 def available_prefetchers() -> List[str]:
     """Names accepted by :func:`make_prefetcher`."""
-    return sorted(_REGISTRY)
+    return prefetcher_registry.names()
 
 
-def make_prefetcher(name: str) -> Prefetcher:
+def make_prefetcher(name: str, **options: Any) -> Prefetcher:
     """Construct a prefetcher by name.
 
     Raises ``ValueError`` for unknown names so configuration typos fail
     loudly instead of silently simulating without a prefetcher.
     """
-    try:
-        factory = _REGISTRY[name.lower()]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown prefetcher {name!r}; expected one of {available_prefetchers()}"
-        ) from exc
-    return factory()
+    return prefetcher_registry.create(name, **options)

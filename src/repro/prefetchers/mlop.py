@@ -14,8 +14,10 @@ from typing import Deque, Dict, List
 
 from repro.memory.address import BLOCK_SIZE, LINES_PER_PAGE, page_number
 from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import register_prefetcher
 
 
+@register_prefetcher("mlop")
 class MLOPPrefetcher(Prefetcher):
     """Multi-lookahead offset prefetcher."""
 

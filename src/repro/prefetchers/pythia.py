@@ -26,6 +26,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.memory.address import LINES_PER_PAGE, page_number
 from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import register_prefetcher
 
 #: Prefetch offset action space (in cachelines); 0 means "do not prefetch".
 ACTIONS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32, -1, -2, -4, -8)
@@ -68,6 +69,7 @@ class _QVStore:
         row[action_index] += self.learning_rate * (reward - row[action_index])
 
 
+@register_prefetcher("pythia")
 class PythiaPrefetcher(Prefetcher):
     """Feature-driven RL prefetcher in the spirit of Pythia."""
 

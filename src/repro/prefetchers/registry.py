@@ -1,0 +1,16 @@
+"""The prefetcher registry.
+
+Prefetcher modules self-register with :func:`register_prefetcher`; the
+factory helpers in :mod:`repro.prefetchers.factory` and the experiment
+job runner resolve names through :data:`prefetcher_registry`.
+"""
+
+from __future__ import annotations
+
+from repro.registry import Registry
+
+#: Registry of prefetcher factories, keyed by lower-cased name.
+prefetcher_registry: Registry = Registry("prefetcher")
+
+#: Decorator registering a prefetcher class or builder under a name.
+register_prefetcher = prefetcher_registry.register

@@ -21,6 +21,7 @@ from typing import Dict, List
 
 from repro.memory.address import LINES_PER_PAGE, page_number
 from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import register_prefetcher
 
 
 @dataclass
@@ -30,6 +31,7 @@ class _ActiveRegion:
     accesses: int = 0
 
 
+@register_prefetcher("sms")
 class SMSPrefetcher(Prefetcher):
     """Spatial Memory Streaming prefetcher."""
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 
 from repro.memory.address import BLOCK_SIZE, LINES_PER_PAGE, page_number
 from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import register_prefetcher
 
 _SIG_BITS = 12
 _SIG_MASK = (1 << _SIG_BITS) - 1
@@ -93,6 +94,7 @@ class _PerceptronFilter:
         return 3 * self.table_size * 6
 
 
+@register_prefetcher("spp")
 class SPPPrefetcher(Prefetcher):
     """Signature Path Prefetcher with perceptron filtering."""
 

@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from repro.memory.address import BLOCK_SIZE, block_address, block_number, page_number
 from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import register_prefetcher
 
 
 @dataclass
@@ -24,6 +25,7 @@ class _StrideEntry:
     confidence: int = 0
 
 
+@register_prefetcher("stride")
 class StridePrefetcher(Prefetcher):
     """Classic per-PC stride prefetcher with 2-bit confidence."""
 
@@ -70,6 +72,7 @@ class StridePrefetcher(Prefetcher):
         return self.table_size * (16 + 32 + 12 + 2)
 
 
+@register_prefetcher("streamer")
 class StreamerPrefetcher(Prefetcher):
     """Region-based streamer: detects ascending/descending streams per 4 KB page."""
 

@@ -1,0 +1,49 @@
+"""Parallel experiment orchestration.
+
+This package turns the paper's figure sweeps into declarative job
+lists executed through pluggable backends with two cache layers:
+
+* :class:`~repro.runner.job.SimJob` / :class:`~repro.runner.job.SweepSpec`
+  — one job is (SystemConfig, workload name(s), num_accesses, mode); a
+  figure is a list of jobs plus a reducer.
+* :class:`~repro.runner.backends.SerialBackend` and
+  :class:`~repro.runner.backends.ProcessPoolBackend` — bit-identical
+  results, the latter fanning jobs out over worker processes.
+* :class:`~repro.runner.cache.ResultCache` — optional on-disk result
+  memoisation keyed by a stable hash of the job spec (the in-process
+  trace cache lives with the workload catalogue in
+  :mod:`repro.workloads.suite`).
+* :class:`~repro.runner.runner.JobRunner` — ties the above together.
+
+See DESIGN.md (section 3) for the architecture discussion.
+"""
+
+from repro.runner.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.execute import execute_job
+from repro.runner.job import (
+    JOB_SCHEMA_VERSION,
+    PredictorSpec,
+    SimJob,
+    SweepSpec,
+    jobs_for_suite,
+)
+from repro.runner.runner import JobRunner
+
+__all__ = [
+    "JOB_SCHEMA_VERSION",
+    "SimJob",
+    "SweepSpec",
+    "PredictorSpec",
+    "jobs_for_suite",
+    "execute_job",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "JobRunner",
+]

@@ -1,0 +1,64 @@
+"""Pluggable execution backends.
+
+A backend maps :func:`~repro.runner.execute.execute_job` over a job
+list and returns the results in job order.  Both backends are
+deterministic: jobs carry seeds, workers rebuild traces from those
+seeds, so :class:`SerialBackend` and :class:`ProcessPoolBackend`
+produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence
+
+from repro.runner.execute import execute_job
+from repro.runner.job import SimJob
+
+
+class ExecutionBackend(ABC):
+    """Maps jobs to results, preserving order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_jobs(self, jobs: Sequence[SimJob]) -> List[Any]:
+        """Execute every job and return results in job order."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one-at-a-time execution (the deterministic default)."""
+
+    name = "serial"
+
+    def map_jobs(self, jobs: Sequence[SimJob]) -> List[Any]:
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan jobs out over a ``concurrent.futures`` process pool.
+
+    Jobs are pickled to the workers, which rebuild configs, traces and
+    predictors locally; ``max_workers=None`` uses every CPU.  Single-job
+    batches skip the pool entirely.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def map_jobs(self, jobs: Sequence[SimJob]) -> List[Any]:
+        jobs = list(jobs)
+        if len(jobs) <= 1:
+            return [execute_job(job) for job in jobs]
+        workers = min(self.max_workers or os.cpu_count() or 1, len(jobs))
+        if workers <= 1:
+            return [execute_job(job) for job in jobs]
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunksize))

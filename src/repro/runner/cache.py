@@ -1,0 +1,70 @@
+"""On-disk memoisation of simulation results.
+
+Results are keyed by :meth:`SimJob.key` — a content hash of the full
+declarative job spec — so a cached entry is valid exactly as long as
+the job it came from is byte-for-byte the same sweep point.  Entries
+are pickles written atomically; unreadable entries are treated as
+misses so a corrupt file can never poison a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.runner.job import SimJob
+
+
+class ResultCache:
+    """A directory of pickled results keyed by job content hash."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, job: SimJob) -> Path:
+        return self.directory / f"{job.key()}.pkl"
+
+    def get(self, job: SimJob) -> Optional[Any]:
+        path = self.path_for(job)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            # Any unreadable entry (truncated file, protocol error, class
+            # moved since it was written, ...) is a miss, never a crash.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, job: SimJob, result: Any) -> None:
+        path = self.path_for(job)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -1,0 +1,30 @@
+"""Job execution: the one function every backend maps over jobs.
+
+Must stay a top-level module function so
+:class:`~repro.runner.backends.ProcessPoolBackend` can pickle a
+reference to it; the job itself carries only declarative state, and the
+traces/predictors are rebuilt deterministically here (hitting each
+worker process's own trace cache across jobs).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.runner.job import SimJob
+from repro.sim.multicore import MultiCoreResult, simulate_multicore
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate_trace
+from repro.workloads.suite import make_trace
+
+JobResult = Union[SimulationResult, MultiCoreResult]
+
+
+def execute_job(job: SimJob) -> JobResult:
+    """Run one job to completion and return its result."""
+    if job.mode == "multicore":
+        traces = [make_trace(name, job.num_accesses) for name in job.workload]
+        return simulate_multicore(job.config, traces, dram_config=job.dram)
+    trace = make_trace(job.workload, job.num_accesses)
+    predictor = job.predictor_spec.build() if job.predictor_spec else None
+    return simulate_trace(job.config, trace, predictor=predictor)

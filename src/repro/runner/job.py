@@ -1,0 +1,126 @@
+"""Declarative simulation jobs.
+
+A :class:`SimJob` fully describes one simulation — configuration,
+workload name(s), trace length and single-/multi-core mode — without
+holding any built component, so it pickles cheaply to worker processes
+and hashes stably for the on-disk result cache.  Any paper figure is a
+list of jobs plus a reducer (:class:`SweepSpec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dram.config import DRAMConfig
+from repro.sim.config import SystemConfig
+
+#: Bump when the job schema or simulation semantics change incompatibly,
+#: so stale on-disk cache entries stop matching.
+JOB_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """A by-name recipe for an off-chip predictor.
+
+    Used instead of a predictor *instance* so jobs stay declarative and
+    serialization-safe: worker processes rebuild the predictor through
+    the registry (``make_predictor(name, **options)``).  The options for
+    ``"popet"`` include ``features`` (Figs. 10/11) and any
+    :class:`~repro.offchip.popet.POPETConfig` field such as
+    ``activation_threshold`` (Fig. 17e).
+    """
+
+    name: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self):
+        from repro.offchip.factory import make_predictor
+        return make_predictor(self.name, **dict(self.options))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One unit of simulation work.
+
+    ``mode`` is ``"single"`` (``workload`` is one name) or
+    ``"multicore"`` (``workload`` is a tuple of names, one per core,
+    sharing an LLC and memory controller).
+    """
+
+    config: SystemConfig
+    workload: Union[str, Tuple[str, ...]]
+    num_accesses: int
+    mode: str = "single"
+    predictor_spec: Optional[PredictorSpec] = None
+    dram: Optional[DRAMConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("single", "multicore"):
+            raise ValueError(f"unknown job mode {self.mode!r}")
+        if self.num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        if self.mode == "single" and not isinstance(self.workload, str):
+            raise ValueError("single-core jobs take one workload name")
+        if self.mode == "multicore":
+            if isinstance(self.workload, str) or not self.workload:
+                raise ValueError(
+                    "multicore jobs take a non-empty tuple of workload names")
+            if self.predictor_spec is not None:
+                raise ValueError(
+                    "multicore jobs build per-core predictors from the config; "
+                    "predictor_spec injection is single-core only")
+            # Normalise lists to tuples so equality and hashing are stable.
+            object.__setattr__(self, "workload", tuple(self.workload))
+
+    def key(self) -> str:
+        """A stable content hash of this job (on-disk cache key)."""
+        payload = {"schema": JOB_SCHEMA_VERSION, "job": _canonical(self)}
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode())
+        return digest.hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} for a job key")
+
+
+@dataclass
+class SweepSpec:
+    """A named list of jobs plus the reducer that turns results into a figure.
+
+    ``reducer`` receives the results in job order; when omitted the raw
+    result list is returned.
+    """
+
+    name: str
+    jobs: List[SimJob]
+    reducer: Optional[Callable[[List[Any]], Any]] = None
+
+    def reduce(self, results: List[Any]) -> Any:
+        if self.reducer is None:
+            return results
+        return self.reducer(results)
+
+
+def jobs_for_suite(config: SystemConfig, workloads: Sequence[str],
+                   num_accesses: int,
+                   predictor_spec: Optional[PredictorSpec] = None) -> List[SimJob]:
+    """One single-core job per workload name, all under ``config``."""
+    return [SimJob(config=config, workload=name, num_accesses=num_accesses,
+                   predictor_spec=predictor_spec)
+            for name in workloads]

@@ -1,0 +1,53 @@
+"""The job runner: caches in front of a pluggable execution backend."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.runner.backends import ExecutionBackend, SerialBackend
+from repro.runner.cache import ResultCache
+from repro.runner.job import SimJob, SweepSpec
+
+
+class JobRunner:
+    """Executes job lists, consulting the result cache before the backend.
+
+    Cache hits never reach the backend; misses are executed in one
+    backend batch (so a process pool sees the whole remaining sweep at
+    once) and written back afterwards.  Results always come back in job
+    order.
+    """
+
+    def __init__(self, backend: Optional[ExecutionBackend] = None,
+                 result_cache: Optional[ResultCache] = None) -> None:
+        self.backend = backend or SerialBackend()
+        self.result_cache = result_cache
+
+    def run(self, jobs: Sequence[SimJob]) -> List[Any]:
+        jobs = list(jobs)
+        results: List[Any] = [None] * len(jobs)
+        if self.result_cache is not None:
+            pending: List[SimJob] = []
+            pending_indices: List[int] = []
+            for index, job in enumerate(jobs):
+                cached = self.result_cache.get(job)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    pending.append(job)
+                    pending_indices.append(index)
+        else:
+            pending = jobs
+            pending_indices = list(range(len(jobs)))
+
+        if pending:
+            computed = self.backend.map_jobs(pending)
+            for index, job, result in zip(pending_indices, pending, computed):
+                results[index] = result
+                if self.result_cache is not None:
+                    self.result_cache.put(job, result)
+        return results
+
+    def run_sweep(self, spec: SweepSpec) -> Any:
+        """Execute a sweep's jobs and apply its reducer."""
+        return spec.reduce(self.run(spec.jobs))

@@ -16,12 +16,13 @@ import heapq
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.hermes import HermesEngine
+from repro.core.hermes import HermesEngine, HermesStats
 from repro.cpu.core import CoreStats, OutOfOrderCore
 from repro.dram.config import DRAMConfig
 from repro.dram.controller import MemoryController
 from repro.memory.cache import Cache, CacheConfig
-from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.hierarchy import CacheHierarchy, HierarchyStats
+from repro.offchip.base import PredictorStats
 from repro.offchip.factory import make_predictor
 from repro.offchip.ideal import IdealPredictor
 from repro.prefetchers.factory import make_prefetcher
@@ -52,6 +53,20 @@ class MultiCoreResult:
         if baseline.throughput == 0:
             return 0.0
         return self.throughput / baseline.throughput
+
+
+def _reset_core_stats(core: OutOfOrderCore) -> None:
+    """Discard one core's warmup statistics; keep microarchitectural state."""
+    core.stats = CoreStats()
+    hierarchy = core.hierarchy
+    hierarchy.stats = HierarchyStats()
+    for cache in (hierarchy.l1d, hierarchy.l2):
+        cache.stats = type(cache.stats)()
+    if hierarchy.prefetcher is not None:
+        hierarchy.prefetcher.stats = type(hierarchy.prefetcher.stats)()
+    if core.hermes is not None:
+        core.hermes.stats = HermesStats()
+        core.hermes.predictor.stats = PredictorStats()
 
 
 def simulate_multicore(config: SystemConfig, traces: Sequence[Trace],
@@ -88,7 +103,16 @@ def simulate_multicore(config: SystemConfig, traces: Sequence[Trace],
         cores.append(core)
 
     # Interleave cores ordered by their own frontend clocks so requests to
-    # the shared LLC/DRAM from different cores overlap realistically.
+    # the shared LLC/DRAM from different cores overlap realistically.  As
+    # in the single-core driver, the first ``config.warmup_fraction`` of
+    # each trace is a warmup whose statistics are discarded: each core's
+    # private stats reset when that core crosses its own warmup point (no
+    # barrier, so the interleaving is identical with warmup disabled), and
+    # the shared LLC / memory-controller stats reset once every core is
+    # past warmup.
+    warmup_limits = [int(len(trace.accesses) * config.warmup_fraction)
+                     for trace in traces]
+    cores_warming = sum(1 for limit in warmup_limits if limit > 0)
     cursors = [0] * num_cores
     heap = []
     for index, core in enumerate(cores):
@@ -103,6 +127,12 @@ def simulate_multicore(config: SystemConfig, traces: Sequence[Trace],
         core = cores[index]
         core.step(trace.accesses[cursor])
         cursors[index] = cursor + 1
+        if warmup_limits[index] and cursors[index] == warmup_limits[index]:
+            _reset_core_stats(core)
+            cores_warming -= 1
+            if cores_warming == 0:
+                memory_controller.stats = type(memory_controller.stats)()
+                shared_llc.stats = type(shared_llc.stats)()
         if cursors[index] < len(trace.accesses):
             heapq.heappush(heap, (core.current_cycle, index))
 

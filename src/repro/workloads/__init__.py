@@ -23,9 +23,14 @@ from repro.workloads.generators import (
 )
 from repro.workloads.suite import (
     CATEGORIES,
+    TraceCache,
     WorkloadSpec,
+    clear_trace_cache,
     make_trace,
+    multicore_mix_names,
     multicore_mixes,
+    trace_cache,
+    trace_cache_info,
     workload_names,
     workload_suite,
 )
@@ -42,8 +47,13 @@ __all__ = [
     "ServerWorkload",
     "CATEGORIES",
     "WorkloadSpec",
+    "TraceCache",
     "make_trace",
     "workload_names",
     "workload_suite",
+    "multicore_mix_names",
     "multicore_mixes",
+    "trace_cache",
+    "trace_cache_info",
+    "clear_trace_cache",
 ]

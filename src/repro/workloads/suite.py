@@ -10,8 +10,9 @@ behaviours as in the paper.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.workloads.generators import (
     GraphAnalyticsWorkload,
@@ -110,6 +111,71 @@ def _specs() -> List[WorkloadSpec]:
 _SPEC_INDEX: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _specs()}
 
 
+class TraceCache:
+    """In-process LRU memo for generated traces.
+
+    Keyed by ``(workload name, num_accesses, generator seed)``.  Trace
+    generation is deterministic given the seed, and consumers treat
+    traces as read-only, so repeated requests (every experiment runner
+    regenerating the same evaluation suite) can share one object instead
+    of re-running the generator.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+
+    def get_or_create(self, key: Tuple[str, int, int],
+                      factory: Callable[[], Trace]) -> Trace:
+        try:
+            trace = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            trace = factory()
+            self._entries[key] = trace
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return trace
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries), "maxsize": self.maxsize}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide trace cache used by :func:`make_trace`.
+_TRACE_CACHE = TraceCache()
+
+
+def trace_cache() -> TraceCache:
+    """The process-wide trace cache (for inspection and tests)."""
+    return _TRACE_CACHE
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoised trace (tests; long-lived processes)."""
+    _TRACE_CACHE.clear()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-wide trace cache."""
+    return _TRACE_CACHE.info()
+
+
 def workload_names(category: Optional[str] = None) -> List[str]:
     """Return all workload names, optionally filtered by category."""
     if category is None:
@@ -120,7 +186,12 @@ def workload_names(category: Optional[str] = None) -> List[str]:
 
 
 def make_trace(name: str, num_accesses: int = 20000) -> Trace:
-    """Generate the named workload's trace with ``num_accesses`` memory ops."""
+    """Generate the named workload's trace with ``num_accesses`` memory ops.
+
+    Results are memoised in the process-wide :class:`TraceCache` (traces
+    are deterministic given the generator seed and treated as read-only),
+    so repeated requests return the same object without regeneration.
+    """
     try:
         spec = _SPEC_INDEX[name]
     except KeyError as exc:
@@ -129,9 +200,14 @@ def make_trace(name: str, num_accesses: int = 20000) -> Trace:
         ) from exc
     generator = spec.factory()
     generator.category = spec.category
-    trace = generator.generate(num_accesses)
-    trace.category = spec.category
-    return trace
+
+    def _generate() -> Trace:
+        trace = generator.generate(num_accesses)
+        trace.category = spec.category
+        return trace
+
+    return _TRACE_CACHE.get_or_create((name, num_accesses, generator.seed),
+                                      _generate)
 
 
 def workload_suite(num_accesses: int = 20000,
@@ -154,24 +230,37 @@ def workload_suite(num_accesses: int = 20000,
     return traces
 
 
+def multicore_mix_names(num_cores: int = 8, num_mixes: int = 4,
+                        seed: int = 99,
+                        homogeneous: bool = False) -> List[List[str]]:
+    """Choose the workload names of each multi-programmed mix.
+
+    Separated from trace generation so the declarative experiment job
+    model can describe a multicore run as a list of names (regenerated
+    deterministically inside worker processes) instead of shipping
+    trace objects around.
+    """
+    rng = random.Random(seed)
+    names = workload_names()
+    mixes: List[List[str]] = []
+    for mix_index in range(num_mixes):
+        if homogeneous:
+            mixes.append([names[mix_index % len(names)]] * num_cores)
+        else:
+            mixes.append([rng.choice(names) for _ in range(num_cores)])
+    return mixes
+
+
 def multicore_mixes(num_cores: int = 8, num_mixes: int = 4,
                     num_accesses: int = 8000, seed: int = 99,
                     homogeneous: bool = False) -> List[List[Trace]]:
     """Build multi-programmed workload mixes for the eight-core experiments.
 
-    Homogeneous mixes run ``num_cores`` copies of one workload (with
-    different seeds through truncation offsets); heterogeneous mixes draw
-    ``num_cores`` random workloads from the catalogue, as in Section 7.1.
+    Homogeneous mixes run ``num_cores`` copies of one workload;
+    heterogeneous mixes draw ``num_cores`` random workloads from the
+    catalogue, as in Section 7.1.
     """
-    rng = random.Random(seed)
-    names = workload_names()
-    mixes: List[List[Trace]] = []
-    for mix_index in range(num_mixes):
-        if homogeneous:
-            name = names[mix_index % len(names)]
-            mix = [make_trace(name, num_accesses) for _ in range(num_cores)]
-        else:
-            chosen = [rng.choice(names) for _ in range(num_cores)]
-            mix = [make_trace(name, num_accesses) for name in chosen]
-        mixes.append(mix)
-    return mixes
+    return [[make_trace(name, num_accesses) for name in mix]
+            for mix in multicore_mix_names(num_cores=num_cores,
+                                           num_mixes=num_mixes, seed=seed,
+                                           homogeneous=homogeneous)]

@@ -1,0 +1,219 @@
+"""Tests for the experiment orchestration layer (repro.runner)."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.core import CoreStats
+from repro.experiments.common import ExperimentSetup, run_matrix
+from repro.offchip.registry import predictor_registry
+from repro.prefetchers.registry import prefetcher_registry
+from repro.registry import Registry
+from repro.runner import (
+    JobRunner,
+    PredictorSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SimJob,
+    SweepSpec,
+)
+from repro.sim.config import SystemConfig
+from repro.workloads.suite import make_trace, trace_cache
+
+#: Four workloads spanning regular and irregular behaviour.
+WORKLOADS = ["spec06.stencil", "spec06.mcf_chase", "ligra.bfs", "cvp.server_int"]
+NUM_ACCESSES = 800
+
+
+def _sweep_jobs():
+    configs = [SystemConfig.no_prefetching(),
+               SystemConfig.with_hermes("popet", prefetcher="pythia")]
+    return [SimJob(config=config, workload=name, num_accesses=NUM_ACCESSES)
+            for config in configs for name in WORKLOADS]
+
+
+# --------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------- #
+
+def test_process_pool_matches_serial_bit_identical():
+    """Acceptance: 2-config x 4-workload sweep, pool == serial."""
+    jobs = _sweep_jobs()
+    serial = JobRunner(SerialBackend()).run(jobs)
+    pooled = JobRunner(ProcessPoolBackend(max_workers=2)).run(jobs)
+    assert serial == pooled
+    assert [r.workload for r in serial] == WORKLOADS * 2
+
+
+def test_process_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ProcessPoolBackend(max_workers=0)
+
+
+def test_run_matrix_parallel_matches_serial():
+    serial_setup = ExperimentSetup(num_accesses=NUM_ACCESSES, per_category=1,
+                                   categories=["SPEC06", "Ligra"])
+    parallel_setup = ExperimentSetup(num_accesses=NUM_ACCESSES, per_category=1,
+                                     categories=["SPEC06", "Ligra"],
+                                     parallel=True, max_workers=2)
+    configs = {"noprefetch": SystemConfig.no_prefetching(),
+               "pythia": SystemConfig.baseline("pythia")}
+    assert run_matrix(serial_setup, configs) == run_matrix(parallel_setup, configs)
+
+
+def test_multicore_job_executes():
+    job = SimJob(config=SystemConfig.baseline("pythia"),
+                 workload=("ligra.bfs", "spec06.stencil"),
+                 num_accesses=600, mode="multicore")
+    result = JobRunner().run([job])[0]
+    assert result.workloads == ["ligra.bfs", "spec06.stencil"]
+    assert result.throughput > 0
+
+
+# --------------------------------------------------------------------- #
+# Job model
+# --------------------------------------------------------------------- #
+
+def test_job_validation():
+    config = SystemConfig.no_prefetching()
+    with pytest.raises(ValueError):
+        SimJob(config=config, workload="ligra.bfs", num_accesses=100, mode="bogus")
+    with pytest.raises(ValueError):
+        SimJob(config=config, workload=("a", "b"), num_accesses=100, mode="single")
+    with pytest.raises(ValueError):
+        SimJob(config=config, workload="ligra.bfs", num_accesses=0)
+    with pytest.raises(ValueError, match="single-core only"):
+        SimJob(config=config, workload=("ligra.bfs", "spec06.stencil"),
+               num_accesses=100, mode="multicore",
+               predictor_spec=PredictorSpec("popet"))
+
+
+def test_job_key_is_stable_and_content_sensitive():
+    config = SystemConfig.baseline("pythia")
+    job = SimJob(config=config, workload="ligra.bfs", num_accesses=500)
+    same = SimJob(config=SystemConfig.baseline("pythia"), workload="ligra.bfs",
+                  num_accesses=500)
+    assert job.key() == same.key()
+    longer = SimJob(config=config, workload="ligra.bfs", num_accesses=501)
+    assert job.key() != longer.key()
+    with_spec = SimJob(config=config, workload="ligra.bfs", num_accesses=500,
+                       predictor_spec=PredictorSpec("popet",
+                                                    {"activation_threshold": -10}))
+    assert job.key() != with_spec.key()
+
+
+def test_sweep_spec_reducer():
+    jobs = [SimJob(config=SystemConfig.no_prefetching(), workload="ligra.bfs",
+                   num_accesses=400)]
+    spec = SweepSpec(name="ipc", jobs=jobs,
+                     reducer=lambda results: [r.ipc for r in results])
+    reduced = JobRunner().run_sweep(spec)
+    assert len(reduced) == 1 and reduced[0] > 0
+
+
+# --------------------------------------------------------------------- #
+# Caches
+# --------------------------------------------------------------------- #
+
+def test_trace_cache_returns_same_object():
+    first = make_trace("ligra.pagerank", num_accesses=700)
+    second = make_trace("ligra.pagerank", num_accesses=700)
+    assert first is second
+    assert make_trace("ligra.pagerank", num_accesses=701) is not first
+
+
+def test_build_suite_hits_trace_cache():
+    setup = ExperimentSetup(num_accesses=900, per_category=1,
+                            categories=["SPEC06", "Ligra"])
+    first = setup.build_suite()
+    hits_before = trace_cache().hits
+    second = setup.build_suite()
+    assert all(a is b for a, b in zip(first, second))
+    assert trace_cache().hits >= hits_before + len(first)
+
+
+class _CountingBackend(SerialBackend):
+    def __init__(self):
+        self.executed = 0
+
+    def map_jobs(self, jobs):
+        self.executed += len(jobs)
+        return super().map_jobs(jobs)
+
+
+def test_result_cache_short_circuits_backend(tmp_path):
+    jobs = [SimJob(config=SystemConfig.no_prefetching(), workload=name,
+                   num_accesses=400) for name in WORKLOADS[:2]]
+    backend = _CountingBackend()
+    runner = JobRunner(backend=backend, result_cache=ResultCache(tmp_path))
+    first = runner.run(jobs)
+    assert backend.executed == 2
+    second = runner.run(jobs)
+    assert backend.executed == 2  # all hits, backend untouched
+    assert first == second
+    assert len(runner.result_cache) == 2
+
+
+# --------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------- #
+
+def test_registry_rejects_duplicate_names():
+    registry = Registry("widget")
+
+    @registry.register("w")
+    def _make():
+        return object()
+
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.register("w")(lambda: object())
+    # Case-insensitive: "W" collides with "w".
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.register("W")(lambda: object())
+
+
+def test_component_registries_reject_redefinition():
+    with pytest.raises(ValueError, match="duplicate"):
+        predictor_registry.register("popet")(lambda: None)
+    with pytest.raises(ValueError, match="duplicate"):
+        prefetcher_registry.register("pythia")(lambda: None)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(ValueError, match="unknown"):
+        Registry("widget").create("nope")
+
+
+def test_predictor_spec_builds_through_registry():
+    predictor = PredictorSpec("popet", {"features": ("pc_xor_cl_offset",)}).build()
+    assert [spec.name for spec in predictor.features] == ["pc_xor_cl_offset"]
+    predictor = PredictorSpec("popet", {"activation_threshold": -5}).build()
+    assert predictor.config.activation_threshold == -5
+
+
+# --------------------------------------------------------------------- #
+# Satellite regressions
+# --------------------------------------------------------------------- #
+
+def test_core_stats_as_dict_field_parity():
+    """Every CoreStats field must appear in as_dict (plus derived metrics)."""
+    stats = CoreStats()
+    field_names = {f.name for f in dataclasses.fields(CoreStats)}
+    keys = set(stats.as_dict())
+    assert field_names <= keys
+    assert {"ipc", "average_offchip_stall"} <= keys
+
+
+def test_multicore_warmup_resets_stats():
+    from dataclasses import replace
+    from repro.sim.multicore import simulate_multicore
+
+    traces = [make_trace("ligra.bfs", 1200), make_trace("spec06.mcf_chase", 1200)]
+    config = SystemConfig.baseline("pythia")
+    warm = simulate_multicore(config, traces)
+    cold = simulate_multicore(replace(config, warmup_fraction=0.0), traces)
+    # Warmup discards the first quarter of each trace's measured loads.
+    for warm_stats, cold_stats in zip(warm.per_core, cold.per_core):
+        assert warm_stats.loads < cold_stats.loads
+        assert warm_stats.instructions == cold_stats.instructions
