@@ -67,7 +67,7 @@ class HermesConfig:
         return cls(enabled=False)
 
 
-@dataclass
+@dataclass(slots=True)
 class HermesStats:
     """Hermes-request accounting."""
 
@@ -85,12 +85,19 @@ class HermesStats:
         }
 
 
-@dataclass
 class HermesDecision:
-    """The engine's output for one load."""
+    """The engine's output for one load.
 
-    record: PredictionRecord
-    hermes_ready: Optional[int] = None
+    One instance is owned (and reused) by each :class:`HermesEngine`; its
+    fields are valid until the engine's next ``predict_and_issue`` call.
+    """
+
+    __slots__ = ("record", "hermes_ready")
+
+    def __init__(self, record: Optional[PredictionRecord] = None,
+                 hermes_ready: Optional[int] = None) -> None:
+        self.record = record
+        self.hermes_ready = hermes_ready
 
     @property
     def predicted_offchip(self) -> bool:
@@ -99,6 +106,10 @@ class HermesDecision:
 
 class HermesEngine:
     """Couples an off-chip predictor with the main-memory controller."""
+
+    __slots__ = ("config", "predictor", "memory_controller", "stats",
+                 "_loads_since_drain", "_context", "_decision",
+                 "_enabled", "_request_delay", "_drain_interval")
 
     def __init__(self, predictor: OffChipPredictor,
                  memory_controller: MemoryController,
@@ -110,30 +121,49 @@ class HermesEngine:
         self.memory_controller = memory_controller
         self.stats = HermesStats()
         self._loads_since_drain = 0
+        # Reused per-load records (zero-allocation hot path): valid until
+        # the next predict_and_issue call.
+        self._context = LoadContext(pc=0, address=0, cycle=0)
+        self._decision = HermesDecision()
+        # Hot-loop constants hoisted out of the config dataclass.
+        self._enabled = config.enabled
+        self._request_delay = (config.address_generation_latency
+                               + config.issue_latency)
+        self._drain_interval = config.drain_interval
 
     # ------------------------------------------------------------------ #
 
     def predict_and_issue(self, pc: int, address: int, cycle: int) -> HermesDecision:
         """Run the predictor for a load and issue a Hermes request if indicated.
 
-        Returns a :class:`HermesDecision` whose ``hermes_ready`` is the
-        cycle at which the speculative data will be available at the
-        memory controller (``None`` when no Hermes request was issued).
+        Returns the engine's reused :class:`HermesDecision` whose
+        ``hermes_ready`` is the cycle at which the speculative data will
+        be available at the memory controller (``None`` when no Hermes
+        request was issued).
         """
-        self.stats.loads_seen += 1
-        context = LoadContext(pc=pc, address=address, cycle=cycle)
+        stats = self.stats
+        stats.loads_seen += 1
+        context = self._context
+        context.pc = pc
+        context.address = address
+        context.cycle = cycle
         record = self.predictor.predict(context)
         hermes_ready: Optional[int] = None
-        if self.config.enabled and record.predicted_offchip:
-            self.stats.predicted_offchip += 1
-            issue_cycle = (cycle + self.config.address_generation_latency
-                           + self.config.issue_latency)
-            request = self.memory_controller.access(address, issue_cycle,
-                                                    RequestSource.HERMES)
-            hermes_ready = request.ready_cycle
-            self.stats.hermes_requests_issued += 1
-        self._maybe_drain(cycle)
-        return HermesDecision(record=record, hermes_ready=hermes_ready)
+        if self._enabled and record.predicted_offchip:
+            stats.predicted_offchip += 1
+            hermes_ready = self.memory_controller.access(
+                address, cycle + self._request_delay, RequestSource.HERMES)
+            stats.hermes_requests_issued += 1
+        loads_since_drain = self._loads_since_drain + 1
+        if loads_since_drain >= self._drain_interval:
+            self._loads_since_drain = 0
+            self.memory_controller.drain_unclaimed_hermes(cycle)
+        else:
+            self._loads_since_drain = loads_since_drain
+        decision = self._decision
+        decision.record = record
+        decision.hermes_ready = hermes_ready
+        return decision
 
     def train(self, decision: HermesDecision, went_offchip: bool,
               hermes_used: bool = False) -> None:
@@ -141,14 +171,6 @@ class HermesEngine:
         if hermes_used:
             self.stats.hermes_requests_useful += 1
         self.predictor.train(decision.record, went_offchip)
-
-    # ------------------------------------------------------------------ #
-
-    def _maybe_drain(self, cycle: int) -> None:
-        self._loads_since_drain += 1
-        if self._loads_since_drain >= self.config.drain_interval:
-            self._loads_since_drain = 0
-            self.memory_controller.drain_unclaimed_hermes(cycle)
 
     # ------------------------------------------------------------------ #
 

@@ -19,15 +19,19 @@ The core exposes both a one-shot :meth:`OutOfOrderCore.run` and a
 step-wise API (:meth:`begin` / :meth:`step` / :meth:`finalize`) so the
 multi-core driver can interleave several cores over a shared LLC and
 memory controller.
+
+The in-flight load window is a ring buffer of parallel preallocated
+lists (instruction index, completion cycle, off-chip flag, on-chip
+latency) — ``step`` allocates nothing per load.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.hermes import HermesEngine
+from repro.dram.controller import RequestSource
 from repro.memory.hierarchy import CacheHierarchy
 from repro.workloads.trace import MemoryAccess, Trace
 
@@ -51,7 +55,7 @@ class CoreConfig:
             raise ValueError("queue sizes must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core execution statistics."""
 
@@ -98,18 +102,15 @@ class CoreStats:
         }
 
 
-@dataclass
-class _InflightLoad:
-    """A load that has issued but not yet (necessarily) retired."""
-
-    instruction_index: int
-    completion_cycle: int
-    went_offchip: bool
-    onchip_latency: int
-
-
 class OutOfOrderCore:
     """Cycle-approximate out-of-order core executing a memory-access trace."""
+
+    __slots__ = ("config", "hierarchy", "hermes", "stats",
+                 "_il_capacity", "_il_index", "_il_completion", "_il_offchip",
+                 "_il_onchip", "_il_head", "_il_count",
+                 "_dispatch_cycle", "_instruction_index",
+                 "_previous_load_completion", "_running",
+                 "_fetch_width", "_rob_size", "_lq_size", "_l1_latency")
 
     def __init__(self, hierarchy: CacheHierarchy,
                  hermes: Optional[HermesEngine] = None,
@@ -119,11 +120,25 @@ class OutOfOrderCore:
         self.hierarchy = hierarchy
         self.hermes = hermes
         self.stats = CoreStats()
-        self._inflight: Deque[_InflightLoad] = deque()
+        # Ring buffer of in-flight loads (parallel arrays).  The window
+        # never exceeds load_queue_size + 1 entries: step() drains the
+        # oldest load as soon as the queue overflows.
+        self._il_capacity = self.config.load_queue_size + 2
+        self._il_index = [0] * self._il_capacity
+        self._il_completion = [0] * self._il_capacity
+        self._il_offchip = [False] * self._il_capacity
+        self._il_onchip = [0] * self._il_capacity
+        self._il_head = 0
+        self._il_count = 0
         self._dispatch_cycle = 0.0
         self._instruction_index = 0
         self._previous_load_completion = 0
         self._running = False
+        # Hot-loop constants hoisted out of the config dataclass.
+        self._fetch_width = self.config.fetch_width
+        self._rob_size = self.config.rob_size
+        self._lq_size = self.config.load_queue_size
+        self._l1_latency = hierarchy.l1d.latency
 
     # ------------------------------------------------------------------ #
     # One-shot execution
@@ -132,10 +147,178 @@ class OutOfOrderCore:
     def run(self, trace: Trace, max_accesses: Optional[int] = None) -> CoreStats:
         """Execute ``trace`` to completion and return the execution statistics."""
         self.begin()
-        accesses = trace.accesses if max_accesses is None else trace.accesses[:max_accesses]
-        for access in accesses:
-            self.step(access)
+        accesses = trace.accesses
+        total = len(accesses) if max_accesses is None else min(max_accesses,
+                                                               len(accesses))
+        self.run_span(accesses, 0, total)
         return self.finalize()
+
+    def run_span(self, accesses, start: int, stop: int) -> None:
+        """Execute ``accesses[start:stop]`` with the hot loop fully inlined.
+
+        Semantically identical to calling :meth:`step` per record (the
+        arithmetic is the same, statement for statement), but core state
+        and statistics counters live in locals for the whole span and are
+        flushed back once at the end — the single-core drivers' main loop.
+        ``step`` remains for access-by-access interleaving (multi-core).
+        """
+        if not self._running:
+            raise RuntimeError("call begin() before run_span()")
+        stats = self.stats
+        hierarchy = self.hierarchy
+        hermes = self.hermes
+        hierarchy_load = hierarchy.load
+        hierarchy_store = hierarchy.store
+        if hermes is not None:
+            # Pre-bound pieces of HermesEngine.predict_and_issue / train,
+            # inlined below (same statements, span-local bindings).
+            predictor_predict = hermes.predictor.predict
+            predictor_train = hermes.predictor.train
+            hermes_stats = hermes.stats
+            hermes_context = hermes._context
+            hermes_enabled = hermes._enabled
+            hermes_request_delay = hermes._request_delay
+            hermes_drain_interval = hermes._drain_interval
+            hermes_loads_since_drain = hermes._loads_since_drain
+            mc_access = hermes.memory_controller.access
+            mc_drain = hermes.memory_controller.drain_unclaimed_hermes
+            hermes_source = RequestSource.HERMES
+        fetch_width = self._fetch_width
+        rob_size = self._rob_size
+        lq_size = self._lq_size
+        capacity = self._il_capacity
+        indices = self._il_index
+        completions = self._il_completion
+        offchips = self._il_offchip
+        onchips = self._il_onchip
+        l1_latency = self._l1_latency
+        head = self._il_head
+        count = self._il_count
+        dispatch_cycle = self._dispatch_cycle
+        instruction_index = self._instruction_index
+        previous_load_completion = self._previous_load_completion
+        # Batched statistics (flushed to self.stats after the span).
+        n_loads = n_stores = 0
+        n_offchip = n_blocking = n_nonblocking = 0
+        stall_offchip = stall_onchip_portion = stall_other = 0
+
+        def pop_oldest_stall() -> None:
+            """Pop the oldest in-flight load, accounting any stall (inline
+            twin of _wait_for_oldest operating on the span's locals)."""
+            nonlocal dispatch_cycle, head, count, n_offchip, n_blocking, \
+                n_nonblocking, stall_offchip, stall_onchip_portion, stall_other
+            completion = completions[head]
+            went_offchip = offchips[head]
+            onchip_latency = onchips[head]
+            head += 1
+            if head == capacity:
+                head = 0
+            count -= 1
+            if completion <= dispatch_cycle:
+                if went_offchip:
+                    n_offchip += 1
+                    n_nonblocking += 1
+                return
+            stall = completion - dispatch_cycle
+            if went_offchip:
+                n_offchip += 1
+                n_blocking += 1
+                stall_offchip += int(stall)
+                hidden = onchip_latency - l1_latency
+                if hidden < 0:
+                    hidden = 0
+                if hidden > int(stall):
+                    hidden = int(stall)
+                stall_onchip_portion += hidden
+            else:
+                stall_other += int(stall)
+            dispatch_cycle = float(completion)
+
+        for position in range(start, stop):
+            access = accesses[position]
+            group_size = access.nonmem_before + 1
+            instruction_index += group_size
+            dispatch_cycle += group_size / fetch_width
+
+            while count and completions[head] <= dispatch_cycle:
+                if offchips[head]:
+                    n_offchip += 1
+                    n_nonblocking += 1
+                head += 1
+                if head == capacity:
+                    head = 0
+                count -= 1
+            while count and (instruction_index - indices[head]) >= rob_size:
+                pop_oldest_stall()
+
+            issue_cycle = int(dispatch_cycle)
+            if access.depends_on_previous_load and previous_load_completion > issue_cycle:
+                issue_cycle = previous_load_completion
+
+            if access.is_load:
+                pc = access.pc
+                address = access.address
+                if hermes is not None:
+                    # HermesEngine.predict_and_issue, inlined.
+                    hermes_stats.loads_seen += 1
+                    hermes_context.pc = pc
+                    hermes_context.address = address
+                    hermes_context.cycle = issue_cycle
+                    record = predictor_predict(hermes_context)
+                    if hermes_enabled and record.predicted_offchip:
+                        hermes_stats.predicted_offchip += 1
+                        hermes_ready = mc_access(
+                            address, issue_cycle + hermes_request_delay,
+                            hermes_source)
+                        hermes_stats.hermes_requests_issued += 1
+                    else:
+                        hermes_ready = None
+                    hermes_loads_since_drain += 1
+                    if hermes_loads_since_drain >= hermes_drain_interval:
+                        hermes_loads_since_drain = 0
+                        mc_drain(issue_cycle)
+                    outcome = hierarchy_load(address, pc, issue_cycle,
+                                             hermes_ready)
+                    # HermesEngine.train, inlined.
+                    if outcome.hermes_used:
+                        hermes_stats.hermes_requests_useful += 1
+                    predictor_train(record, outcome.went_offchip)
+                else:
+                    outcome = hierarchy_load(address, pc, issue_cycle)
+                completion = outcome.completion_cycle
+                previous_load_completion = completion
+                n_loads += 1
+                tail = head + count
+                if tail >= capacity:
+                    tail -= capacity
+                indices[tail] = instruction_index
+                completions[tail] = completion
+                offchips[tail] = outcome.went_offchip
+                onchips[tail] = outcome.onchip_latency
+                count += 1
+                if count > lq_size:
+                    pop_oldest_stall()
+            else:
+                hierarchy_store(access.address, access.pc, issue_cycle)
+                n_stores += 1
+
+        # Flush span state and counters back to the instance.
+        if hermes is not None:
+            hermes._loads_since_drain = hermes_loads_since_drain
+        self._il_head = head
+        self._il_count = count
+        self._dispatch_cycle = dispatch_cycle
+        self._instruction_index = instruction_index
+        self._previous_load_completion = previous_load_completion
+        stats.loads += n_loads
+        stats.stores += n_stores
+        stats.memory_instructions += (stop - start)
+        stats.offchip_loads += n_offchip
+        stats.blocking_offchip_loads += n_blocking
+        stats.nonblocking_offchip_loads += n_nonblocking
+        stats.stall_cycles_offchip += stall_offchip
+        stats.stall_cycles_offchip_onchip_portion += stall_onchip_portion
+        stats.stall_cycles_other += stall_other
 
     # ------------------------------------------------------------------ #
     # Step-wise execution (used by the multi-core driver)
@@ -143,7 +326,8 @@ class OutOfOrderCore:
 
     def begin(self) -> None:
         """Reset dynamic state before executing a trace."""
-        self._inflight.clear()
+        self._il_head = 0
+        self._il_count = 0
         self._dispatch_cycle = 0.0
         self._instruction_index = 0
         self._previous_load_completion = 0
@@ -153,43 +337,65 @@ class OutOfOrderCore:
         """Execute one memory-access record (plus its preceding ALU block)."""
         if not self._running:
             raise RuntimeError("call begin() before step()")
+        stats = self.stats
         group_size = access.nonmem_before + 1
-        self._instruction_index += group_size
-        self._dispatch_cycle += group_size / self.config.fetch_width
+        instruction_index = self._instruction_index + group_size
+        self._instruction_index = instruction_index
+        dispatch_cycle = self._dispatch_cycle + group_size / self._fetch_width
 
-        self._retire_completed(self._dispatch_cycle)
-        self._dispatch_cycle = self._enforce_rob_limit(self._dispatch_cycle,
-                                                       self._instruction_index,
-                                                       self.config.rob_size)
+        # Retire completed loads that the frontend has caught up with.
+        completions = self._il_completion
+        head = self._il_head
+        count = self._il_count
+        capacity = self._il_capacity
+        offchips = self._il_offchip
+        while count and completions[head] <= dispatch_cycle:
+            if offchips[head]:
+                stats.offchip_loads += 1
+                stats.nonblocking_offchip_loads += 1
+            head = (head + 1) % capacity
+            count -= 1
+        self._il_head = head
+        self._il_count = count
 
-        issue_cycle = int(self._dispatch_cycle)
+        # ROB limit: stall until the oldest in-flight load completes.
+        rob_size = self._rob_size
+        indices = self._il_index
+        while self._il_count and (instruction_index - indices[self._il_head]) >= rob_size:
+            dispatch_cycle = self._wait_for_oldest(dispatch_cycle)
+
+        issue_cycle = int(dispatch_cycle)
         if access.depends_on_previous_load:
-            issue_cycle = max(issue_cycle, self._previous_load_completion)
+            previous = self._previous_load_completion
+            if previous > issue_cycle:
+                issue_cycle = previous
 
         if access.is_load:
             completion, went_offchip, onchip_latency = self._execute_load(
                 access.pc, access.address, issue_cycle)
             self._previous_load_completion = completion
-            self.stats.loads += 1
-            self._inflight.append(_InflightLoad(
-                instruction_index=self._instruction_index,
-                completion_cycle=completion,
-                went_offchip=went_offchip,
-                onchip_latency=onchip_latency))
-            if len(self._inflight) > self.config.load_queue_size:
-                self._dispatch_cycle = self._drain_oldest(self._dispatch_cycle)
+            stats.loads += 1
+            tail = (self._il_head + self._il_count) % capacity
+            self._il_index[tail] = instruction_index
+            completions[tail] = completion
+            offchips[tail] = went_offchip
+            self._il_onchip[tail] = onchip_latency
+            self._il_count += 1
+            if self._il_count > self._lq_size:
+                dispatch_cycle = self._wait_for_oldest(dispatch_cycle)
         else:
             # Stores update cache state but retire off the critical path
             # through the store queue.
             self.hierarchy.store(access.address, access.pc, issue_cycle)
-            self.stats.stores += 1
-        self.stats.memory_instructions += 1
+            stats.stores += 1
+        stats.memory_instructions += 1
+        self._dispatch_cycle = dispatch_cycle
 
     def finalize(self) -> CoreStats:
         """Drain outstanding loads and close out the statistics."""
         final_cycle = self._dispatch_cycle
-        while self._inflight:
-            final_cycle = self._drain_oldest(final_cycle)
+        while self._il_count:
+            final_cycle = self._wait_for_oldest(final_cycle)
         self.stats.instructions = self._instruction_index
         self.stats.cycles = max(1, int(final_cycle))
         self._running = False
@@ -207,53 +413,41 @@ class OutOfOrderCore:
     def _execute_load(self, pc: int, address: int,
                       cycle: int) -> Tuple[int, bool, int]:
         """Issue one load through Hermes (if enabled) and the hierarchy."""
-        if self.hermes is not None:
-            decision = self.hermes.predict_and_issue(pc, address, cycle)
+        hermes = self.hermes
+        if hermes is not None:
+            decision = hermes.predict_and_issue(pc, address, cycle)
             outcome = self.hierarchy.load(address, pc, cycle,
                                           hermes_ready=decision.hermes_ready)
-            self.hermes.train(decision, outcome.went_offchip,
-                              hermes_used=outcome.hermes_used)
+            hermes.train(decision, outcome.went_offchip,
+                         hermes_used=outcome.hermes_used)
         else:
             outcome = self.hierarchy.load(address, pc, cycle)
         return outcome.completion_cycle, outcome.went_offchip, outcome.onchip_latency
 
-    def _retire_completed(self, cycle: float) -> None:
-        inflight = self._inflight
-        while inflight and inflight[0].completion_cycle <= cycle:
-            load = inflight.popleft()
-            if load.went_offchip:
-                self.stats.offchip_loads += 1
-                self.stats.nonblocking_offchip_loads += 1
-
-    def _enforce_rob_limit(self, dispatch_cycle: float, instruction_index: int,
-                           rob_size: int) -> float:
-        inflight = self._inflight
-        while inflight and (instruction_index - inflight[0].instruction_index) >= rob_size:
-            dispatch_cycle = self._wait_for_oldest(dispatch_cycle)
-        return dispatch_cycle
-
-    def _drain_oldest(self, dispatch_cycle: float) -> float:
-        if not self._inflight:
-            return dispatch_cycle
-        return self._wait_for_oldest(dispatch_cycle)
-
     def _wait_for_oldest(self, dispatch_cycle: float) -> float:
-        load = self._inflight.popleft()
-        if load.completion_cycle <= dispatch_cycle:
-            if load.went_offchip:
-                self.stats.offchip_loads += 1
-                self.stats.nonblocking_offchip_loads += 1
+        """Pop the oldest in-flight load, accounting any stall it causes."""
+        head = self._il_head
+        completion = self._il_completion[head]
+        went_offchip = self._il_offchip[head]
+        onchip_latency = self._il_onchip[head]
+        self._il_head = (head + 1) % self._il_capacity
+        self._il_count -= 1
+        stats = self.stats
+        if completion <= dispatch_cycle:
+            if went_offchip:
+                stats.offchip_loads += 1
+                stats.nonblocking_offchip_loads += 1
             return dispatch_cycle
-        stall = load.completion_cycle - dispatch_cycle
-        if load.went_offchip:
-            self.stats.offchip_loads += 1
-            self.stats.blocking_offchip_loads += 1
-            self.stats.stall_cycles_offchip += int(stall)
+        stall = completion - dispatch_cycle
+        if went_offchip:
+            stats.offchip_loads += 1
+            stats.blocking_offchip_loads += 1
+            stats.stall_cycles_offchip += int(stall)
             # The portion of the stall the on-chip hierarchy access is
             # responsible for (Fig. 3's dark bars): everything after the L1
             # access, capped by the actual stall length.
-            hidden = min(int(stall), max(0, load.onchip_latency - self.hierarchy.l1d.latency))
-            self.stats.stall_cycles_offchip_onchip_portion += hidden
+            hidden = min(int(stall), max(0, onchip_latency - self._l1_latency))
+            stats.stall_cycles_offchip_onchip_portion += hidden
         else:
-            self.stats.stall_cycles_other += int(stall)
-        return float(load.completion_cycle)
+            stats.stall_cycles_other += int(stall)
+        return float(completion)

@@ -9,13 +9,12 @@ issuing a second access).
 """
 
 from repro.dram.config import DRAMConfig
-from repro.dram.controller import MemoryController, MemoryRequest, RequestSource
+from repro.dram.controller import MemoryController, RequestSource
 from repro.dram.timing import DRAMTiming
 
 __all__ = [
     "DRAMConfig",
     "DRAMTiming",
     "MemoryController",
-    "MemoryRequest",
     "RequestSource",
 ]

@@ -20,13 +20,17 @@ for the row access latency and the channel data bus for the burst length,
 and queueing delay grows when the read queue backs up, which is what makes
 low-accuracy predictors (TTP) and aggressive prefetchers hurt in the
 bandwidth-constrained configurations, as in the paper.
+
+``access`` is on the simulation hot path and returns the data-ready cycle
+as a plain ``int`` — no per-request object is allocated.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.dram.config import DRAMConfig
 from repro.dram.timing import BankState, DRAMTiming
@@ -46,21 +50,7 @@ class RequestSource(enum.Enum):
     WRITEBACK = "writeback"
 
 
-@dataclass
-class MemoryRequest:
-    """A completed main-memory request (returned for bookkeeping)."""
-
-    block: int
-    source: RequestSource
-    arrival_cycle: int
-    ready_cycle: int
-
-    @property
-    def latency(self) -> int:
-        return self.ready_cycle - self.arrival_cycle
-
-
-@dataclass
+@dataclass(slots=True)
 class ControllerStats:
     """Counts of requests serviced by the memory controller."""
 
@@ -105,6 +95,11 @@ class ControllerStats:
 class MemoryController:
     """Bandwidth- and row-buffer-aware main-memory controller."""
 
+    __slots__ = ("config", "timing", "_banks", "_channel_busy_until",
+                 "_inflight", "_inflight_heap", "_hermes_unclaimed", "stats",
+                 "_blocks_per_row", "_banks_per_channel", "_prune_limit",
+                 "_burst_cycles")
+
     def __init__(self, config: Optional[DRAMConfig] = None) -> None:
         self.config = config or DRAMConfig()
         self.config.validate()
@@ -112,8 +107,12 @@ class MemoryController:
         self._banks: List[BankState] = [BankState() for _ in range(self.config.total_banks)]
         self._channel_busy_until: List[int] = [0] * self.config.channels
         # In-flight requests: block -> ready cycle.  Used both for Hermes
-        # matching and for demand/prefetch merging.
+        # matching and for demand/prefetch merging.  The companion lazy
+        # min-heap of (ready, block) makes pruning incremental: the old
+        # full-dict scan per access turned O(n^2) whenever the read queue
+        # stayed saturated (exactly the TTP/prefetch-heavy configs).
         self._inflight: Dict[int, int] = {}
+        self._inflight_heap: List[Tuple[int, int]] = []
         # Blocks fetched by a Hermes request that have not (yet) been
         # claimed by a demand request.
         self._hermes_unclaimed: Dict[int, int] = {}
@@ -121,6 +120,12 @@ class MemoryController:
         # Row interleaving: consecutive blocks map to the same row until the
         # row buffer is exhausted; rows stripe across banks.
         self._blocks_per_row = max(1, self.config.row_buffer_bytes // 64)
+        self._banks_per_channel = (self.config.ranks_per_channel
+                                   * self.config.banks_per_rank)
+        self._prune_limit = 4 * self.config.read_queue_size
+        # burst_cycles is a computed property (float math + round); hoist
+        # it out of the per-request path.
+        self._burst_cycles = self.config.burst_cycles
 
     # ------------------------------------------------------------------ #
     # Address mapping
@@ -129,11 +134,12 @@ class MemoryController:
     def _map(self, block: int) -> tuple[int, int, int]:
         """Map a block number to (channel, bank index, row)."""
         row_id = block // self._blocks_per_row
-        channel = row_id % self.config.channels
-        banks_per_channel = self.config.ranks_per_channel * self.config.banks_per_rank
-        bank_in_channel = (row_id // self.config.channels) % banks_per_channel
+        channels = self.config.channels
+        channel = row_id % channels
+        banks_per_channel = self._banks_per_channel
+        bank_in_channel = (row_id // channels) % banks_per_channel
         bank = channel * banks_per_channel + bank_in_channel
-        row = row_id // (self.config.channels * banks_per_channel)
+        row = row_id // (channels * banks_per_channel)
         return channel, bank, row
 
     # ------------------------------------------------------------------ #
@@ -141,67 +147,105 @@ class MemoryController:
     # ------------------------------------------------------------------ #
 
     def access(self, address: int, cycle: int,
-               source: RequestSource = RequestSource.DEMAND) -> MemoryRequest:
+               source: RequestSource = RequestSource.DEMAND) -> int:
         """Service a main-memory request arriving at ``cycle``.
 
-        Returns a :class:`MemoryRequest` whose ``ready_cycle`` is when the
-        data is available at the memory controller.  Requests to a block
-        with an in-flight access merge with it.
+        Returns the cycle at which the data is available at the memory
+        controller.  Requests to a block with an in-flight access merge
+        with it.
         """
         block = address >> BLOCK_BITS
-        self._count(source)
+        stats = self.stats
+        if source is RequestSource.DEMAND:
+            stats.demand_requests += 1
+        elif source is RequestSource.PREFETCH:
+            stats.prefetch_requests += 1
+        elif source is RequestSource.HERMES:
+            stats.hermes_requests += 1
+        else:
+            stats.writeback_requests += 1
 
+        hermes_unclaimed = self._hermes_unclaimed
         inflight_ready = self._inflight.get(block)
         if inflight_ready is not None and inflight_ready > cycle:
             # Merge with the in-flight request (includes the demand-finds-
             # Hermes-request case).
-            self.stats.merged_requests += 1
-            if source == RequestSource.DEMAND and block in self._hermes_unclaimed:
-                del self._hermes_unclaimed[block]
-                self.stats.hermes_consumed += 1
-            ready = inflight_ready
-            self._account_read(source, cycle, ready)
-            return MemoryRequest(block, source, cycle, ready)
+            stats.merged_requests += 1
+            if source is RequestSource.DEMAND and block in hermes_unclaimed:
+                del hermes_unclaimed[block]
+                stats.hermes_consumed += 1
+            if source is not RequestSource.WRITEBACK:
+                stats.total_reads += 1
+                stats.total_read_latency += inflight_ready - cycle
+            return inflight_ready
 
-        channel, bank_index, row = self._map(block)
-        bank = self._banks[bank_index]
+        # Address mapping (self._map) and row-buffer timing
+        # (DRAMTiming.access_latency), inlined for the per-request path.
+        channels = self.config.channels
+        banks_per_channel = self._banks_per_channel
+        row_id = block // self._blocks_per_row
+        channel = row_id % channels
+        bank = self._banks[channel * banks_per_channel
+                           + (row_id // channels) % banks_per_channel]
+        row = row_id // (channels * banks_per_channel)
 
         # Queueing: the request cannot start before its bank is free, and its
         # data transfer cannot start before the channel's data bus is free.
         # Bank- and channel-occupancy together model FR-FCFS-style queueing
         # delay without an explicit event queue.
-        start = max(cycle, bank.busy_until)
+        busy_until = bank.busy_until
+        start = cycle if cycle > busy_until else busy_until
 
-        access_latency, kind = self.timing.access_latency(bank, row)
-        if kind == "hit":
-            self.stats.row_hits += 1
-        elif kind == "miss":
-            self.stats.row_misses += 1
+        timing = self.timing
+        open_row = bank.open_row
+        if open_row == row:
+            bank.row_hits += 1
+            stats.row_hits += 1
+            access_latency = timing.tcas
+        elif open_row == -1:
+            bank.row_misses += 1
+            bank.open_row = row
+            stats.row_misses += 1
+            access_latency = timing.trcd + timing.tcas
         else:
-            self.stats.row_conflicts += 1
+            bank.row_conflicts += 1
+            bank.open_row = row
+            stats.row_conflicts += 1
+            access_latency = timing.trp + timing.trcd + timing.tcas
 
-        data_start = max(start + access_latency, self._channel_busy_until[channel])
-        ready = data_start + self.config.burst_cycles
-        bank.busy_until = start + access_latency
+        busy = start + access_latency
+        channel_free = self._channel_busy_until[channel]
+        data_start = busy if busy > channel_free else channel_free
+        ready = data_start + self._burst_cycles
+        bank.busy_until = busy
         self._channel_busy_until[channel] = ready
 
         self._inflight[block] = ready
-        if source == RequestSource.HERMES:
-            self._hermes_unclaimed[block] = ready
-        elif source == RequestSource.DEMAND and block in self._hermes_unclaimed:
-            del self._hermes_unclaimed[block]
-            self.stats.hermes_consumed += 1
+        heapq.heappush(self._inflight_heap, (ready, block))
+        if source is RequestSource.HERMES:
+            hermes_unclaimed[block] = ready
+        elif source is RequestSource.DEMAND and block in hermes_unclaimed:
+            del hermes_unclaimed[block]
+            stats.hermes_consumed += 1
 
-        if len(self._inflight) > 4 * self.config.read_queue_size:
+        if len(self._inflight) > self._prune_limit:
             self._prune(cycle)
+        elif len(self._inflight_heap) > 2 * (self._prune_limit
+                                             + len(self._inflight)):
+            # Compact stale heap twins without touching the in-flight dict
+            # (no semantic effect) so the lazy heap stays bounded.
+            heap = [(r, b) for b, r in self._inflight.items()]
+            heapq.heapify(heap)
+            self._inflight_heap = heap
 
-        self._account_read(source, cycle, ready)
-        return MemoryRequest(block, source, cycle, ready)
+        if source is not RequestSource.WRITEBACK:
+            stats.total_reads += 1
+            stats.total_read_latency += ready - cycle
+        return ready
 
     def lookup_inflight(self, address: int, cycle: int) -> Optional[int]:
         """Return the ready cycle of an in-flight request to ``address``, if any."""
-        block = address >> BLOCK_BITS
-        ready = self._inflight.get(block)
+        ready = self._inflight.get(address >> BLOCK_BITS)
         if ready is None or ready <= cycle:
             return None
         return ready
@@ -239,26 +283,19 @@ class MemoryController:
         """Number of requests still in flight at ``cycle`` (read-queue occupancy)."""
         return sum(1 for ready in self._inflight.values() if ready > cycle)
 
-    def _count(self, source: RequestSource) -> None:
-        if source == RequestSource.DEMAND:
-            self.stats.demand_requests += 1
-        elif source == RequestSource.PREFETCH:
-            self.stats.prefetch_requests += 1
-        elif source == RequestSource.HERMES:
-            self.stats.hermes_requests += 1
-        else:
-            self.stats.writeback_requests += 1
-
-    def _account_read(self, source: RequestSource, cycle: int, ready: int) -> None:
-        if source in (RequestSource.DEMAND, RequestSource.HERMES,
-                      RequestSource.PREFETCH):
-            self.stats.total_reads += 1
-            self.stats.total_read_latency += ready - cycle
-
     def _prune(self, cycle: int) -> None:
-        stale = [block for block, ready in self._inflight.items() if ready <= cycle]
-        for block in stale:
-            del self._inflight[block]
+        """Incrementally drop completed requests (lazy heap, no full scans).
+
+        Deletes exactly the ``ready <= cycle`` entries the old full-dict
+        scan removed, at the same trigger points, so the dict evolution
+        (and therefore every simulated statistic) is unchanged.
+        """
+        heap = self._inflight_heap
+        inflight = self._inflight
+        while heap and heap[0][0] <= cycle:
+            ready, block = heapq.heappop(heap)
+            if inflight.get(block) == ready:
+                del inflight[block]
 
     # ------------------------------------------------------------------ #
     # Introspection

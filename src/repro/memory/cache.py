@@ -10,15 +10,40 @@ returns whether the block hit and lets the :class:`~repro.memory.hierarchy.
 CacheHierarchy` compose per-level latencies and the DRAM model into the
 final load latency.  MSHR merging is modelled by remembering, per block,
 the cycle at which an outstanding fill will complete.
+
+Hot-path layout
+---------------
+The tag store is *flat*: one preallocated tags list and one flags
+bytearray, both indexed by ``set_index * ways + way``, plus a single
+``block -> slot`` dict for O(1) lookup (a block maps to exactly one set,
+so block numbers are globally unique keys).  The per-way valid/dirty/
+prefetched/reused booleans are bits of the flags byte.  ``access``
+returns a *reused* :class:`AccessResult` record — the instance is only
+valid until the cache's next ``access`` call; callers must copy any field
+they need to keep (the simulator never does).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.memory.address import BLOCK_BITS, BLOCK_SIZE
-from repro.memory.replacement import ReplacementPolicy, make_replacement_policy
+from repro.memory.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+    make_replacement_policy,
+)
+
+#: Bits of the per-way flags byte (``Cache._flags``).
+FLAG_VALID = 1
+FLAG_DIRTY = 2
+FLAG_PREFETCHED = 4
+FLAG_REUSED = 8
 
 
 @dataclass
@@ -55,17 +80,30 @@ class CacheConfig:
             raise ValueError(f"cache {self.name}: latency must be non-negative")
 
 
-@dataclass
 class AccessResult:
-    """Result of a single cache-level access."""
+    """Result of a single cache-level access.
 
-    hit: bool
-    latency: int
-    evicted_block: Optional[int] = None
-    was_prefetched: bool = False
+    Each :class:`Cache` owns one instance and returns it from every
+    ``access`` call (the zero-allocation hot path); the fields are only
+    valid until that cache's next access.
+    """
+
+    __slots__ = ("hit", "latency", "evicted_block", "was_prefetched")
+
+    def __init__(self, hit: bool = False, latency: int = 0,
+                 evicted_block: Optional[int] = None,
+                 was_prefetched: bool = False) -> None:
+        self.hit = hit
+        self.latency = latency
+        self.evicted_block = evicted_block
+        self.was_prefetched = was_prefetched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AccessResult(hit={self.hit}, latency={self.latency}, "
+                f"was_prefetched={self.was_prefetched})")
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-level access statistics."""
 
@@ -102,6 +140,12 @@ class CacheStats:
 class Cache:
     """One level of a set-associative cache hierarchy."""
 
+    __slots__ = ("config", "num_sets", "num_ways", "latency", "_set_mask",
+                 "_use_mask", "replacement", "_tags", "_flags", "_where",
+                 "_where_get", "_valid_count", "_all_valid", "_result",
+                 "_mshr", "_mshr_heap", "_mshr_prune_limit", "stats",
+                 "_fused_policy", "_has_holes")
+
     def __init__(self, config: CacheConfig,
                  replacement: Optional[ReplacementPolicy] = None) -> None:
         config.validate()
@@ -113,17 +157,37 @@ class Cache:
         self._use_mask = (self.num_sets & (self.num_sets - 1)) == 0
         self.replacement = replacement or make_replacement_policy(
             config.replacement, self.num_sets, self.num_ways)
-        # Tag store: per-set dict mapping block number -> way, plus per-way
-        # metadata arrays.
-        self._lookup: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
-        self._tags: List[List[int]] = [[-1] * self.num_ways for _ in range(self.num_sets)]
-        self._valid: List[List[bool]] = [[False] * self.num_ways for _ in range(self.num_sets)]
-        self._dirty: List[List[bool]] = [[False] * self.num_ways for _ in range(self.num_sets)]
-        self._prefetched: List[List[bool]] = [[False] * self.num_ways
-                                              for _ in range(self.num_sets)]
-        self._reused: List[List[bool]] = [[False] * self.num_ways for _ in range(self.num_sets)]
-        # Outstanding misses (MSHRs): block number -> fill-ready cycle.
+        # Flat tag store: tags and per-way flag bytes indexed by
+        # set_index * ways + way, plus one block -> slot lookup dict.
+        capacity = self.num_sets * self.num_ways
+        self._tags: List[int] = [-1] * capacity
+        self._flags = bytearray(capacity)
+        self._where: Dict[int, int] = {}
+        # Pre-bound dict.get: the lookup dict is never replaced, and the
+        # bound method saves two lookups per access on the hot path.
+        self._where_get = self._where.get
+        # Per-set count of valid ways; when a set is full the victim call
+        # receives a shared all-valid tuple instead of a fresh list.
+        self._valid_count: List[int] = [0] * self.num_sets
+        self._all_valid: Tuple[bool, ...] = (True,) * self.num_ways
+        # Until an invalidate() punches a hole, fills take the first
+        # invalid way, so invalid ways always form the suffix
+        # [valid_count, ways) and the first invalid way IS valid_count.
+        self._has_holes = False
+        self._result = AccessResult(latency=self.latency)
+        # Outstanding misses (MSHRs): block number -> fill-ready cycle,
+        # plus a lazy min-heap of (ready, block) for incremental pruning.
         self._mshr: Dict[int, int] = {}
+        self._mshr_heap: List[Tuple[int, int]] = []
+        self._mshr_prune_limit = 4 * max(config.mshrs, 64)
+        # The built-in policies support the fused evict+fill call (they
+        # never read the evicted block's address); exact-type check so a
+        # subclass with overridden hooks gets the generic three-call path.
+        self._fused_policy = (
+            self.replacement
+            if type(self.replacement) in (LRUPolicy, RandomPolicy,
+                                          SRRIPPolicy, SHiPPolicy)
+            else None)
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -145,27 +209,38 @@ class Cache:
 
     def probe(self, address: int) -> bool:
         """Return True if ``address``'s block is present (no state change)."""
-        block = self.block_of(address)
-        return block in self._lookup[self.set_index(block)]
+        return (address >> BLOCK_BITS) in self._where
 
     def access(self, address: int, pc: int, is_write: bool = False) -> AccessResult:
-        """Perform a demand access; updates replacement state and stats."""
-        block = self.block_of(address)
-        set_index = self.set_index(block)
-        self.stats.demand_accesses += 1
-        way = self._lookup[set_index].get(block)
-        if way is not None:
-            self.stats.demand_hits += 1
-            if self._prefetched[set_index][way] and not self._reused[set_index][way]:
-                self.stats.useful_prefetches += 1
-            self._reused[set_index][way] = True
+        """Perform a demand access; updates replacement state and stats.
+
+        Returns this cache's reused :class:`AccessResult` record (valid
+        until the next ``access`` on the same cache).
+        """
+        stats = self.stats
+        stats.demand_accesses += 1
+        block = address >> BLOCK_BITS
+        slot = self._where_get(block, -1)
+        result = self._result
+        if slot >= 0:
+            stats.demand_hits += 1
+            flags = self._flags[slot]
+            prefetched = flags & FLAG_PREFETCHED
+            if prefetched and not flags & FLAG_REUSED:
+                stats.useful_prefetches += 1
             if is_write:
-                self._dirty[set_index][way] = True
-            self.replacement.on_hit(set_index, way, pc, address)
-            return AccessResult(hit=True, latency=self.latency,
-                                was_prefetched=self._prefetched[set_index][way])
-        self.stats.demand_misses += 1
-        return AccessResult(hit=False, latency=self.latency)
+                flags |= FLAG_DIRTY
+            self._flags[slot] = flags | FLAG_REUSED
+            set_index = block & self._set_mask if self._use_mask else block % self.num_sets
+            self.replacement.on_hit(set_index, slot - set_index * self.num_ways,
+                                    pc, address)
+            result.hit = True
+            result.was_prefetched = prefetched != 0
+            return result
+        stats.demand_misses += 1
+        result.hit = False
+        result.was_prefetched = False
+        return result
 
     def fill(self, address: int, pc: int, is_prefetch: bool = False,
              dirty: bool = False) -> Optional[int]:
@@ -174,48 +249,92 @@ class Cache:
         Returns the *byte address* of an evicted dirty block that must be
         written back to the next level, or ``None``.
         """
-        block = self.block_of(address)
-        set_index = self.set_index(block)
-        if block in self._lookup[set_index]:
+        block = address >> BLOCK_BITS
+        where = self._where
+        slot = where.get(block, -1)
+        if slot >= 0:
             # Already present (e.g. a prefetch raced with a demand fill).
-            way = self._lookup[set_index][block]
             if dirty:
-                self._dirty[set_index][way] = True
+                self._flags[slot] |= FLAG_DIRTY
             return None
-        victim_way = self.replacement.victim(set_index, self._valid[set_index])
-        writeback: Optional[int] = None
-        if self._valid[set_index][victim_way]:
-            old_block = self._tags[set_index][victim_way]
+        ways = self.num_ways
+        set_index = block & self._set_mask if self._use_mask else block % self.num_sets
+        base = set_index * ways
+        flags_store = self._flags
+        stats = self.stats
+        fused = self._fused_policy
+        if self._valid_count[set_index] == ways:
+            if fused is not None:
+                # Steady-state fast path: one fused policy call covers
+                # victim + on_eviction + on_fill.
+                victim_way = fused.evict_fill_full(set_index, pc, is_prefetch)
+                victim_slot = base + victim_way
+                victim_flags = flags_store[victim_slot]
+                old_block = self._tags[victim_slot]
+                del where[old_block]
+                stats.evictions += 1
+                writeback = None
+                if victim_flags & FLAG_DIRTY:
+                    stats.writebacks += 1
+                    writeback = old_block << BLOCK_BITS
+                self._tags[victim_slot] = block
+                new_flags = FLAG_VALID
+                if dirty:
+                    new_flags |= FLAG_DIRTY
+                if is_prefetch:
+                    new_flags |= FLAG_PREFETCHED
+                    stats.prefetch_fills += 1
+                flags_store[victim_slot] = new_flags
+                where[block] = victim_slot
+                return writeback
+            victim_way = self.replacement.victim_full(set_index)
+        elif not self._has_holes:
+            victim_way = self._valid_count[set_index]
+        else:
+            # An invalid way exists: every policy prefers the first invalid
+            # way, so resolve it here without materialising a valid list.
+            victim_way = 0
+            for way in range(ways):
+                if not flags_store[base + way] & FLAG_VALID:
+                    victim_way = way
+                    break
+        victim_slot = base + victim_way
+        writeback = None
+        victim_flags = flags_store[victim_slot]
+        if victim_flags & FLAG_VALID:
+            old_block = self._tags[victim_slot]
             self.replacement.on_eviction(set_index, victim_way,
                                          old_block << BLOCK_BITS,
-                                         self._reused[set_index][victim_way])
-            del self._lookup[set_index][old_block]
-            self.stats.evictions += 1
-            if self._dirty[set_index][victim_way]:
-                self.stats.writebacks += 1
+                                         bool(victim_flags & FLAG_REUSED))
+            del where[old_block]
+            stats.evictions += 1
+            if victim_flags & FLAG_DIRTY:
+                stats.writebacks += 1
                 writeback = old_block << BLOCK_BITS
-        self._tags[set_index][victim_way] = block
-        self._valid[set_index][victim_way] = True
-        self._dirty[set_index][victim_way] = dirty
-        self._prefetched[set_index][victim_way] = is_prefetch
-        self._reused[set_index][victim_way] = False
-        self._lookup[set_index][block] = victim_way
+        else:
+            self._valid_count[set_index] += 1
+        self._tags[victim_slot] = block
+        new_flags = FLAG_VALID
+        if dirty:
+            new_flags |= FLAG_DIRTY
         if is_prefetch:
-            self.stats.prefetch_fills += 1
+            new_flags |= FLAG_PREFETCHED
+            stats.prefetch_fills += 1
+        flags_store[victim_slot] = new_flags
+        where[block] = victim_slot
         self.replacement.on_fill(set_index, victim_way, pc, address, is_prefetch)
         return writeback
 
     def invalidate(self, address: int) -> bool:
         """Invalidate the block holding ``address``; return True if present."""
-        block = self.block_of(address)
-        set_index = self.set_index(block)
-        way = self._lookup[set_index].get(block)
-        if way is None:
+        block = address >> BLOCK_BITS
+        slot = self._where.pop(block, -1)
+        if slot < 0:
             return False
-        del self._lookup[set_index][block]
-        self._valid[set_index][way] = False
-        self._dirty[set_index][way] = False
-        self._tags[set_index][way] = -1
+        self._flags[slot] = 0
+        self._tags[slot] = -1
+        self._valid_count[slot // self.num_ways] -= 1
+        self._has_holes = True
         return True
 
     # ------------------------------------------------------------------ #
@@ -228,38 +347,57 @@ class Cache:
         Returns ``None`` when there is no outstanding miss (or the previous
         one already completed before ``cycle``).
         """
-        block = self.block_of(address)
-        ready = self._mshr.get(block)
+        block = address >> BLOCK_BITS
+        mshr = self._mshr
+        ready = mshr.get(block)
         if ready is None:
             return None
         if ready <= cycle:
-            del self._mshr[block]
+            del mshr[block]
             return None
         self.stats.mshr_merges += 1
         return ready
 
     def outstanding_miss_probe(self, address: int, cycle: int) -> bool:
         """Return True if a miss to this block is still outstanding (no state change)."""
-        ready = self._mshr.get(self.block_of(address))
+        ready = self._mshr.get(address >> BLOCK_BITS)
         return ready is not None and ready > cycle
 
     def record_miss(self, address: int, ready_cycle: int) -> None:
         """Record an outstanding miss to ``address`` completing at ``ready_cycle``."""
-        block = self.block_of(address)
-        current = self._mshr.get(block)
+        block = address >> BLOCK_BITS
+        mshr = self._mshr
+        current = mshr.get(block)
         if current is None or ready_cycle < current:
-            self._mshr[block] = ready_cycle
-        if len(self._mshr) > 4 * max(self.config.mshrs, 64):
+            mshr[block] = ready_cycle
+            heapq.heappush(self._mshr_heap, (ready_cycle, block))
+        # The occupancy-bound prune deliberately uses ``ready_cycle`` (a
+        # future cycle) as the horizon, exactly like the pre-flat-array
+        # model, so its (semantics-bearing) trigger point is unchanged.
+        if len(mshr) > self._mshr_prune_limit:
             self._prune_mshrs(ready_cycle)
+        elif len(self._mshr_heap) > 2 * (self._mshr_prune_limit + len(mshr)):
+            # Compact stale heap twins without touching the MSHR dict (no
+            # semantic effect) so the lazy heap stays bounded.
+            heap = [(ready, blk) for blk, ready in mshr.items()]
+            heapq.heapify(heap)
+            self._mshr_heap = heap
 
     def _prune_mshrs(self, cycle: int) -> None:
-        stale = [block for block, ready in self._mshr.items() if ready <= cycle]
-        for block in stale:
-            del self._mshr[block]
+        """Incrementally drop completed entries (lazy heap, no full scans)."""
+        heap = self._mshr_heap
+        mshr = self._mshr
+        while heap and heap[0][0] <= cycle:
+            ready, block = heapq.heappop(heap)
+            if mshr.get(block) == ready:
+                del mshr[block]
 
     def mshr_occupancy(self, cycle: int) -> int:
         """Number of misses still outstanding at ``cycle``."""
-        return sum(1 for ready in self._mshr.values() if ready > cycle)
+        self._prune_mshrs(cycle)
+        # After pruning, every remaining entry is still in flight (each
+        # recorded ready cycle has a heap twin, so none <= cycle survive).
+        return len(self._mshr)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -267,7 +405,7 @@ class Cache:
 
     def resident_blocks(self) -> int:
         """Number of valid blocks currently resident."""
-        return sum(len(index) for index in self._lookup)
+        return len(self._where)
 
     @property
     def capacity_blocks(self) -> int:

@@ -12,15 +12,28 @@ The per-level access latencies are *round-trip* latencies as in the
 paper's Table 4 (L1 5, L2 15, LLC 55 cycles), so the latency of an
 off-chip load in the baseline is ``LLC latency + DRAM latency`` and the
 part Hermes can hide is everything after the L1/TLB access.
+
+Hot-path contract: ``load``/``store`` return a *reused*
+:class:`LoadOutcome` record owned by the hierarchy — its fields are only
+valid until the hierarchy's next load/store.  The core model consumes the
+fields immediately; anything that needs to keep an outcome must copy the
+scalars out (the tests do exactly that).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.dram import DRAMConfig, MemoryController, RequestSource
-from repro.memory.cache import Cache, CacheConfig
+from repro.memory.address import BLOCK_BITS
+from repro.memory.cache import (
+    Cache,
+    CacheConfig,
+    FLAG_DIRTY,
+    FLAG_PREFETCHED,
+    FLAG_REUSED,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.prefetchers.base import Prefetcher
@@ -54,25 +67,40 @@ class HierarchyConfig:
         return self.l2.latency + self.llc.latency
 
 
-@dataclass
 class LoadOutcome:
-    """Result of one demand load through the hierarchy."""
+    """Result of one demand load through the hierarchy.
 
-    address: int
-    pc: int
-    issue_cycle: int
-    completion_cycle: int
-    served_by: str
-    went_offchip: bool
-    onchip_latency: int
-    hermes_used: bool = False
+    One instance is owned (and reused) by each :class:`CacheHierarchy`;
+    fields are valid until that hierarchy's next ``load``/``store``.
+    """
+
+    __slots__ = ("address", "pc", "issue_cycle", "completion_cycle",
+                 "served_by", "went_offchip", "onchip_latency", "hermes_used")
+
+    def __init__(self, address: int = 0, pc: int = 0, issue_cycle: int = 0,
+                 completion_cycle: int = 0, served_by: str = "",
+                 went_offchip: bool = False, onchip_latency: int = 0,
+                 hermes_used: bool = False) -> None:
+        self.address = address
+        self.pc = pc
+        self.issue_cycle = issue_cycle
+        self.completion_cycle = completion_cycle
+        self.served_by = served_by
+        self.went_offchip = went_offchip
+        self.onchip_latency = onchip_latency
+        self.hermes_used = hermes_used
 
     @property
     def latency(self) -> int:
         return self.completion_cycle - self.issue_cycle
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LoadOutcome({self.served_by}, issue={self.issue_cycle}, "
+                f"completion={self.completion_cycle}, "
+                f"offchip={self.went_offchip})")
 
-@dataclass
+
+@dataclass(slots=True)
 class HierarchyStats:
     """Hierarchy-level counters used by the analysis module."""
 
@@ -110,6 +138,10 @@ class CacheHierarchy:
     per-core hierarchy will route its misses through them.
     """
 
+    __slots__ = ("config", "l1d", "l2", "llc", "memory_controller",
+                 "prefetcher", "stats", "_pending_prefetch", "_outcome",
+                 "_l1_latency", "_l2_onchip", "_full_onchip", "_l1_lru")
+
     def __init__(self,
                  config: Optional[HierarchyConfig] = None,
                  dram_config: Optional[DRAMConfig] = None,
@@ -127,6 +159,18 @@ class CacheHierarchy:
         self.stats = HierarchyStats()
         # Prefetches whose data is still in flight: block -> ready cycle.
         self._pending_prefetch: Dict[int, int] = {}
+        self._outcome = LoadOutcome()
+        # Per-level latency sums, hoisted for the per-access path (the
+        # latencies are fixed at construction).
+        self._l1_latency = self.l1d.latency
+        self._l2_onchip = self.l1d.latency + self.l2.latency
+        self._full_onchip = self.l1d.latency + self.l2.latency + self.llc.latency
+        # When the L1 uses plain LRU (the Table 4 default), the hit fast
+        # paths below inline the age-stamp update instead of calling
+        # on_hit (LRUPolicy state is flat, indexed exactly by slot).
+        from repro.memory.replacement import LRUPolicy
+        replacement = self.l1d.replacement
+        self._l1_lru = replacement if type(replacement) is LRUPolicy else None
 
     # ------------------------------------------------------------------ #
     # Demand path
@@ -135,19 +179,154 @@ class CacheHierarchy:
     def load(self, address: int, pc: int, cycle: int,
              hermes_ready: Optional[int] = None) -> LoadOutcome:
         """Perform a demand load, returning its timing and off-chip outcome."""
-        self.stats.loads += 1
-        outcome = self._access(address, pc, cycle, is_write=False,
-                               hermes_ready=hermes_ready)
-        self.stats.total_load_latency += outcome.latency
+        stats = self.stats
+        stats.loads += 1
+        # Fast path: plain L1 hit with no outstanding miss to the block.
+        # This inlines Cache.access's hit work (same stats/flags/policy
+        # updates) and skips the multi-level _access machinery entirely.
+        l1d = self.l1d
+        block = address >> BLOCK_BITS
+        slot = l1d._where_get(block, -1)
+        if slot >= 0 and block not in l1d._mshr:
+            l1_stats = l1d.stats
+            l1_stats.demand_accesses += 1
+            l1_stats.demand_hits += 1
+            flags = l1d._flags[slot]
+            if flags & FLAG_PREFETCHED and not flags & FLAG_REUSED:
+                l1_stats.useful_prefetches += 1
+            l1d._flags[slot] = flags | FLAG_REUSED
+            lru = self._l1_lru
+            if lru is not None:
+                set_index = slot // l1d.num_ways
+                clock = lru._clock[set_index] + 1
+                lru._clock[set_index] = clock
+                lru._age[slot] = clock
+            else:
+                set_index = (block & l1d._set_mask if l1d._use_mask
+                             else block % l1d.num_sets)
+                l1d.replacement.on_hit(set_index,
+                                       slot - set_index * l1d.num_ways,
+                                       pc, address)
+            l1_latency = self._l1_latency
+            outcome = self._outcome
+            outcome.address = address
+            outcome.pc = pc
+            outcome.issue_cycle = cycle
+            outcome.completion_cycle = cycle + l1_latency
+            outcome.served_by = "L1D"
+            outcome.went_offchip = False
+            outcome.onchip_latency = l1_latency
+            outcome.hermes_used = False
+            stats.total_load_latency += l1_latency
+            return outcome
+        # Slow path: L1 miss or an outstanding miss to the block; the L1
+        # interaction (Cache.access + MSHR merge) is inlined so misses
+        # avoid a redundant lookup round trip.
+        l1_stats = l1d.stats
+        l1_stats.demand_accesses += 1
+        l1_latency = self._l1_latency
+        if slot >= 0:
+            # Tag present while the fill is still in flight: full hit
+            # work, then merge with the outstanding miss.
+            l1_stats.demand_hits += 1
+            flags = l1d._flags[slot]
+            if flags & FLAG_PREFETCHED and not flags & FLAG_REUSED:
+                l1_stats.useful_prefetches += 1
+            l1d._flags[slot] = flags | FLAG_REUSED
+            lru = self._l1_lru
+            if lru is not None:
+                set_index = slot // l1d.num_ways
+                clock = lru._clock[set_index] + 1
+                lru._clock[set_index] = clock
+                lru._age[slot] = clock
+            else:
+                set_index = (block & l1d._set_mask if l1d._use_mask
+                             else block % l1d.num_sets)
+                l1d.replacement.on_hit(set_index,
+                                       slot - set_index * l1d.num_ways,
+                                       pc, address)
+            l1_ready = l1d.outstanding_miss(address, cycle)
+            outcome = self._outcome
+            outcome.address = address
+            outcome.pc = pc
+            outcome.issue_cycle = cycle
+            outcome.went_offchip = False
+            outcome.onchip_latency = l1_latency
+            outcome.hermes_used = False
+            if l1_ready is not None and l1_ready > cycle + l1_latency:
+                outcome.completion_cycle = l1_ready
+                outcome.served_by = "MSHR"
+            else:
+                outcome.completion_cycle = cycle + l1_latency
+                outcome.served_by = "L1D"
+            stats.total_load_latency += outcome.completion_cycle - cycle
+            return outcome
+        l1_stats.demand_misses += 1
+        l1_ready = l1d.outstanding_miss(address, cycle)
+        if l1_ready is not None:
+            # Merge with an outstanding miss to the same block.
+            completion = cycle + l1_latency
+            if l1_ready > completion:
+                completion = l1_ready
+            outcome = self._outcome
+            outcome.address = address
+            outcome.pc = pc
+            outcome.issue_cycle = cycle
+            outcome.completion_cycle = completion
+            outcome.served_by = "MSHR"
+            outcome.went_offchip = False
+            outcome.onchip_latency = l1_latency
+            outcome.hermes_used = False
+            stats.total_load_latency += completion - cycle
+            return outcome
+        outcome = self._post_l1(block, address, pc, cycle, False, hermes_ready)
+        latency = outcome.completion_cycle - cycle
+        stats.total_load_latency += latency
         if outcome.went_offchip:
-            self.stats.offchip_loads += 1
-            self.stats.total_offchip_latency += outcome.latency
-            self.stats.total_offchip_onchip_latency += outcome.onchip_latency
+            stats.offchip_loads += 1
+            stats.total_offchip_latency += latency
+            stats.total_offchip_onchip_latency += outcome.onchip_latency
         return outcome
 
     def store(self, address: int, pc: int, cycle: int) -> LoadOutcome:
         """Perform a demand store (write-allocate; latency is off the critical path)."""
         self.stats.stores += 1
+        # Fast path: store hit in L1 with no outstanding miss (mirrors the
+        # load fast path, plus the dirty bit).
+        l1d = self.l1d
+        block = address >> BLOCK_BITS
+        slot = l1d._where_get(block, -1)
+        if slot >= 0 and block not in l1d._mshr:
+            l1_stats = l1d.stats
+            l1_stats.demand_accesses += 1
+            l1_stats.demand_hits += 1
+            flags = l1d._flags[slot]
+            if flags & FLAG_PREFETCHED and not flags & FLAG_REUSED:
+                l1_stats.useful_prefetches += 1
+            l1d._flags[slot] = flags | FLAG_REUSED | FLAG_DIRTY
+            lru = self._l1_lru
+            if lru is not None:
+                set_index = slot // l1d.num_ways
+                clock = lru._clock[set_index] + 1
+                lru._clock[set_index] = clock
+                lru._age[slot] = clock
+            else:
+                set_index = (block & l1d._set_mask if l1d._use_mask
+                             else block % l1d.num_sets)
+                l1d.replacement.on_hit(set_index,
+                                       slot - set_index * l1d.num_ways,
+                                       pc, address)
+            l1_latency = self._l1_latency
+            outcome = self._outcome
+            outcome.address = address
+            outcome.pc = pc
+            outcome.issue_cycle = cycle
+            outcome.completion_cycle = cycle + l1_latency
+            outcome.served_by = "L1D"
+            outcome.went_offchip = False
+            outcome.onchip_latency = l1_latency
+            outcome.hermes_used = False
+            return outcome
         return self._access(address, pc, cycle, is_write=True, hermes_ready=None)
 
     def would_go_offchip(self, address: int, cycle: int) -> bool:
@@ -156,7 +335,7 @@ class CacheHierarchy:
         Used by the Ideal-Hermes predictor and by tests.  Does not change
         any cache or DRAM state.
         """
-        block = Cache.block_of(address)
+        block = address >> BLOCK_BITS
         if self.l1d.probe(address) or self.l2.probe(address) or self.llc.probe(address):
             return False
         ready = self._pending_prefetch.get(block)
@@ -172,87 +351,145 @@ class CacheHierarchy:
 
     def _access(self, address: int, pc: int, cycle: int, is_write: bool,
                 hermes_ready: Optional[int]) -> LoadOutcome:
+        outcome = self._outcome
+
         # --- L1D ---
-        l1_result = self.l1d.access(address, pc, is_write=is_write)
+        l1d = self.l1d
+        l1_latency = self._l1_latency
+        l1_result = l1d.access(address, pc, is_write=is_write)
         if l1_result.hit:
             # The tag may be present while the data is still in flight (the
             # fill of an earlier miss to the same block): merge with that
             # outstanding miss instead of returning an instant hit.
-            l1_ready = self.l1d.outstanding_miss(address, cycle)
-            if l1_ready is not None and l1_ready > cycle + l1_result.latency:
-                return LoadOutcome(address, pc, cycle, l1_ready,
-                                   served_by="MSHR", went_offchip=False,
-                                   onchip_latency=l1_result.latency)
-            return LoadOutcome(address, pc, cycle, cycle + l1_result.latency,
-                               served_by="L1D", went_offchip=False,
-                               onchip_latency=l1_result.latency)
-        l1_ready = self.l1d.outstanding_miss(address, cycle)
+            outcome.address = address
+            outcome.pc = pc
+            outcome.issue_cycle = cycle
+            outcome.went_offchip = False
+            outcome.hermes_used = False
+            l1_ready = l1d.outstanding_miss(address, cycle)
+            if l1_ready is not None and l1_ready > cycle + l1_latency:
+                outcome.completion_cycle = l1_ready
+                outcome.served_by = "MSHR"
+            else:
+                outcome.completion_cycle = cycle + l1_latency
+                outcome.served_by = "L1D"
+            outcome.onchip_latency = l1_latency
+            return outcome
+        l1_ready = l1d.outstanding_miss(address, cycle)
         if l1_ready is not None:
             # Merge with an outstanding miss to the same block.
-            completion = max(l1_ready, cycle + self.l1d.latency)
-            return LoadOutcome(address, pc, cycle, completion,
-                               served_by="MSHR", went_offchip=False,
-                               onchip_latency=self.l1d.latency)
+            outcome.address = address
+            outcome.pc = pc
+            outcome.issue_cycle = cycle
+            outcome.went_offchip = False
+            outcome.hermes_used = False
+            completion = cycle + l1_latency
+            outcome.completion_cycle = l1_ready if l1_ready > completion else completion
+            outcome.served_by = "MSHR"
+            outcome.onchip_latency = l1_latency
+            return outcome
+        return self._post_l1(address >> BLOCK_BITS, address, pc, cycle, is_write,
+                             hermes_ready)
 
-        # --- L2 ---
-        l2_cycle = cycle + self.l1d.latency
-        l2_result = self.l2.access(address, pc, is_write=False)
-        if l2_result.hit:
-            onchip = self.l1d.latency + self.l2.latency
+    def _post_l1(self, block: int, address: int, pc: int, cycle: int,
+                 is_write: bool, hermes_ready: Optional[int]) -> LoadOutcome:
+        """The L2 -> LLC -> DRAM portion of a demand access (post-L1-miss)."""
+        outcome = self._outcome
+        outcome.address = address
+        outcome.pc = pc
+        outcome.issue_cycle = cycle
+        outcome.went_offchip = False
+        outcome.hermes_used = False
+        l1d = self.l1d
+        l1_latency = self._l1_latency
+
+        # --- L2 (Cache.access inlined: same stats/flags/policy updates) ---
+        l2 = self.l2
+        l2_cycle = cycle + l1_latency
+        l2_stats = l2.stats
+        l2_stats.demand_accesses += 1
+        slot = l2._where_get(block, -1)
+        if slot >= 0:
+            l2_stats.demand_hits += 1
+            flags = l2._flags[slot]
+            if flags & FLAG_PREFETCHED and not flags & FLAG_REUSED:
+                l2_stats.useful_prefetches += 1
+            l2._flags[slot] = flags | FLAG_REUSED
+            set_index = block & l2._set_mask if l2._use_mask else block % l2.num_sets
+            l2.replacement.on_hit(set_index, slot - set_index * l2.num_ways,
+                                  pc, address)
+            onchip = self._l2_onchip
             completion = cycle + onchip
             self._fill_l1(address, pc, completion, is_write)
-            return LoadOutcome(address, pc, cycle, completion,
-                               served_by="L2", went_offchip=False,
-                               onchip_latency=onchip)
+            outcome.completion_cycle = completion
+            outcome.served_by = "L2"
+            outcome.onchip_latency = onchip
+            return outcome
+        l2_stats.demand_misses += 1
 
-        # --- LLC ---
-        llc_cycle = l2_cycle + self.l2.latency
-        llc_result = self.llc.access(address, pc, is_write=False)
-        onchip = self.l1d.latency + self.l2.latency + self.llc.latency
-        block = Cache.block_of(address)
-        prefetch_wait = 0
-        if llc_result.hit:
+        # --- LLC (Cache.access inlined) ---
+        llc = self.llc
+        llc_cycle = l2_cycle + l2.latency
+        llc_stats = llc.stats
+        llc_stats.demand_accesses += 1
+        slot = llc._where_get(block, -1)
+        onchip = self._full_onchip
+        outcome.onchip_latency = onchip
+        if slot >= 0:
+            llc_stats.demand_hits += 1
+            flags = llc._flags[slot]
+            if flags & FLAG_PREFETCHED and not flags & FLAG_REUSED:
+                llc_stats.useful_prefetches += 1
+            llc._flags[slot] = flags | FLAG_REUSED
+            set_index = (block & llc._set_mask if llc._use_mask
+                         else block % llc.num_sets)
+            llc.replacement.on_hit(set_index, slot - set_index * llc.num_ways,
+                                   pc, address)
+            prefetch_wait = 0
             ready = self._pending_prefetch.pop(block, None)
             if ready is not None and ready > cycle + onchip:
                 # Late prefetch: the data is still in flight from DRAM.
                 prefetch_wait = ready - (cycle + onchip)
                 self.stats.llc_prefetch_late += 1
             completion = cycle + onchip + prefetch_wait
-            self._train_prefetcher(address, pc, llc_cycle, hit=True)
+            if self.prefetcher is not None:
+                self._train_prefetcher(address, pc, llc_cycle, hit=True)
             self._fill_l2_l1(address, pc, completion, is_write)
-            return LoadOutcome(address, pc, cycle, completion,
-                               served_by="LLC", went_offchip=False,
-                               onchip_latency=onchip)
+            outcome.completion_cycle = completion
+            outcome.served_by = "LLC"
+            return outcome
+        llc_stats.demand_misses += 1
 
         # --- Off-chip ---
         self.stats.llc_misses += 1
-        self._train_prefetcher(address, pc, llc_cycle, hit=False)
+        if self.prefetcher is not None:
+            self._train_prefetcher(address, pc, llc_cycle, hit=False)
         arrival = cycle + onchip
-        hermes_used = False
+        memory_controller = self.memory_controller
         if hermes_ready is not None:
             # The regular request finds the in-flight Hermes request in the
             # memory controller's read queue and waits for it.
-            inflight = self.memory_controller.lookup_inflight(address, arrival)
+            inflight = memory_controller.lookup_inflight(address, arrival)
             wait_until = inflight if inflight is not None else hermes_ready
-            completion = max(arrival, wait_until)
-            self.memory_controller.claim_hermes(address)
+            completion = wait_until if wait_until > arrival else arrival
+            memory_controller.claim_hermes(address)
             self.stats.hermes_waits += 1
-            hermes_used = True
+            outcome.hermes_used = True
         else:
-            inflight = self.memory_controller.lookup_inflight(address, arrival)
+            inflight = memory_controller.lookup_inflight(address, arrival)
             if inflight is not None:
-                completion = max(arrival, inflight)
-                self.memory_controller.stats.merged_requests += 1
+                completion = inflight if inflight > arrival else arrival
+                memory_controller.stats.merged_requests += 1
             else:
-                request = self.memory_controller.access(address, arrival,
-                                                        RequestSource.DEMAND)
-                completion = request.ready_cycle
-        self.llc.record_miss(address, completion)
-        self.l1d.record_miss(address, completion)
+                completion = memory_controller.access(address, arrival,
+                                                      RequestSource.DEMAND)
+        llc.record_miss(address, completion)
+        l1d.record_miss(address, completion)
         self._fill_all(address, pc, completion, is_write)
-        return LoadOutcome(address, pc, cycle, completion,
-                           served_by="DRAM", went_offchip=True,
-                           onchip_latency=onchip, hermes_used=hermes_used)
+        outcome.completion_cycle = completion
+        outcome.served_by = "DRAM"
+        outcome.went_offchip = True
+        return outcome
 
     # ------------------------------------------------------------------ #
     # Fills
@@ -280,8 +517,6 @@ class CacheHierarchy:
     # ------------------------------------------------------------------ #
 
     def _train_prefetcher(self, address: int, pc: int, cycle: int, hit: bool) -> None:
-        if self.prefetcher is None:
-            return
         candidates = self.prefetcher.on_demand_access(address, pc, cycle, hit)
         if not candidates:
             return
@@ -293,16 +528,17 @@ class CacheHierarchy:
             return
         if self.llc.probe(address):
             return
-        block = Cache.block_of(address)
-        if block in self._pending_prefetch and self._pending_prefetch[block] > cycle:
+        block = address >> BLOCK_BITS
+        pending = self._pending_prefetch
+        if block in pending and pending[block] > cycle:
             return
         if self.memory_controller.lookup_inflight(address, cycle) is not None:
             return
-        request = self.memory_controller.access(address, cycle, RequestSource.PREFETCH)
+        ready = self.memory_controller.access(address, cycle, RequestSource.PREFETCH)
         self.stats.llc_prefetch_issued += 1
         self.llc.fill(address, pc, is_prefetch=True)
-        self._pending_prefetch[block] = request.ready_cycle
-        if len(self._pending_prefetch) > 4096:
+        pending[block] = ready
+        if len(pending) > 4096:
             self._prune_pending(cycle)
 
     def _prune_pending(self, cycle: int) -> None:

@@ -8,13 +8,18 @@ benchmarks can swap the LLC policy.
 A policy instance manages *one cache* (all of its sets).  The cache calls
 ``on_fill``, ``on_hit`` and ``victim`` with (set_index, way, pc, address)
 so policies that learn from program behaviour (SHiP) have what they need.
+
+All per-way policy state lives in flat preallocated lists indexed by
+``set_index * ways + way`` (matching the cache's flat tag store), so the
+per-access update paths are single-index operations with no nested-list
+chasing and no allocation.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 
 class ReplacementPolicy(ABC):
@@ -25,14 +30,38 @@ class ReplacementPolicy(ABC):
             raise ValueError("num_sets and num_ways must be positive")
         self.num_sets = num_sets
         self.num_ways = num_ways
+        self._all_valid = (True,) * num_ways
 
     @abstractmethod
-    def victim(self, set_index: int, valid: List[bool]) -> int:
+    def victim(self, set_index: int, valid: Sequence[bool]) -> int:
         """Return the way to evict in ``set_index``.
 
-        ``valid`` is the per-way valid bit list; policies should prefer an
+        ``valid`` is the per-way valid sequence; policies should prefer an
         invalid way when one exists.
         """
+
+    def victim_full(self, set_index: int) -> int:
+        """Victim selection for a set known to be full (hot path).
+
+        The cache resolves invalid ways itself, so on the fill path this
+        is called instead of :meth:`victim` and subclasses override it to
+        skip the invalid-way scan.  The default delegates to ``victim``.
+        """
+        return self.victim(set_index, self._all_valid)
+
+    def evict_fill_full(self, set_index: int, pc: int,
+                        is_prefetch: bool) -> int:
+        """Fused victim + on_eviction + on_fill for a full set (hot path).
+
+        One policy call instead of three on the steady-state fill path.
+        Only valid for the built-in policies (which never read the
+        evicted block's address); :class:`~repro.memory.cache.Cache`
+        falls back to the three-call sequence for anything else.  The
+        sequencing (victim chosen, eviction accounted, fill accounted)
+        matches the cache's unfused order exactly — policy state never
+        depends on the interleaved cache-state updates.
+        """
+        raise NotImplementedError
 
     @abstractmethod
     def on_fill(self, set_index: int, way: int, pc: int, address: int,
@@ -47,7 +76,7 @@ class ReplacementPolicy(ABC):
                     was_reused: bool) -> None:
         """Notify that ``way`` of ``set_index`` was evicted (optional hook)."""
 
-    def _first_invalid(self, valid: List[bool]) -> Optional[int]:
+    def _first_invalid(self, valid: Sequence[bool]) -> Optional[int]:
         for way, is_valid in enumerate(valid):
             if not is_valid:
                 return way
@@ -59,27 +88,45 @@ class LRUPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
-        # Higher value == more recently used.
-        self._age = [[0] * num_ways for _ in range(num_sets)]
-        self._clock = [0] * num_sets
+        # Higher value == more recently used; flat, indexed set*ways+way.
+        self._age: List[int] = [0] * (num_sets * num_ways)
+        self._clock: List[int] = [0] * num_sets
 
-    def _touch(self, set_index: int, way: int) -> None:
-        self._clock[set_index] += 1
-        self._age[set_index][way] = self._clock[set_index]
-
-    def victim(self, set_index: int, valid: List[bool]) -> int:
+    def victim(self, set_index: int, valid: Sequence[bool]) -> int:
         invalid = self._first_invalid(valid)
         if invalid is not None:
             return invalid
-        ages = self._age[set_index]
-        return min(range(self.num_ways), key=ages.__getitem__)
+        return self.victim_full(set_index)
+
+    def victim_full(self, set_index: int) -> int:
+        ages = self._age
+        base = set_index * self.num_ways
+        end = base + self.num_ways
+        # C-level scan: min() + index() return the first minimum, exactly
+        # like an explicit first-minimum loop.
+        return ages.index(min(ages[base:end]), base, end) - base
+
+    def evict_fill_full(self, set_index: int, pc: int,
+                        is_prefetch: bool) -> int:
+        ages = self._age
+        base = set_index * self.num_ways
+        end = base + self.num_ways
+        slot = ages.index(min(ages[base:end]), base, end)
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        ages[slot] = clock
+        return slot - base
 
     def on_fill(self, set_index: int, way: int, pc: int, address: int,
                 is_prefetch: bool = False) -> None:
-        self._touch(set_index, way)
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        self._age[set_index * self.num_ways + way] = clock
 
     def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
-        self._touch(set_index, way)
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        self._age[set_index * self.num_ways + way] = clock
 
 
 class RandomPolicy(ReplacementPolicy):
@@ -89,10 +136,17 @@ class RandomPolicy(ReplacementPolicy):
         super().__init__(num_sets, num_ways)
         self._rng = random.Random(seed)
 
-    def victim(self, set_index: int, valid: List[bool]) -> int:
+    def victim(self, set_index: int, valid: Sequence[bool]) -> int:
         invalid = self._first_invalid(valid)
         if invalid is not None:
             return invalid
+        return self.victim_full(set_index)
+
+    def victim_full(self, set_index: int) -> int:
+        return self._rng.randrange(self.num_ways)
+
+    def evict_fill_full(self, set_index: int, pc: int,
+                        is_prefetch: bool) -> int:
         return self._rng.randrange(self.num_ways)
 
     def on_fill(self, set_index: int, way: int, pc: int, address: int,
@@ -110,28 +164,40 @@ class SRRIPPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
-        self._rrpv = [[self.MAX_RRPV] * num_ways for _ in range(num_sets)]
+        self._rrpv: List[int] = [self.MAX_RRPV] * (num_sets * num_ways)
 
-    def victim(self, set_index: int, valid: List[bool]) -> int:
+    def victim(self, set_index: int, valid: Sequence[bool]) -> int:
         invalid = self._first_invalid(valid)
         if invalid is not None:
             return invalid
-        rrpvs = self._rrpv[set_index]
+        return self.victim_full(set_index)
+
+    def victim_full(self, set_index: int) -> int:
+        rrpvs = self._rrpv
+        base = set_index * self.num_ways
         while True:
             for way in range(self.num_ways):
-                if rrpvs[way] >= self.MAX_RRPV:
+                if rrpvs[base + way] >= self.MAX_RRPV:
                     return way
             for way in range(self.num_ways):
-                rrpvs[way] += 1
+                rrpvs[base + way] += 1
+
+    def evict_fill_full(self, set_index: int, pc: int,
+                        is_prefetch: bool) -> int:
+        way = self.victim_full(set_index)
+        self._rrpv[set_index * self.num_ways + way] = (
+            self.MAX_RRPV - 1 if not is_prefetch else self.MAX_RRPV)
+        return way
 
     def on_fill(self, set_index: int, way: int, pc: int, address: int,
                 is_prefetch: bool = False) -> None:
         # Long re-reference interval on insertion; prefetches inserted with
         # distant RRPV so inaccurate prefetches are evicted first.
-        self._rrpv[set_index][way] = self.MAX_RRPV - 1 if not is_prefetch else self.MAX_RRPV
+        self._rrpv[set_index * self.num_ways + way] = (
+            self.MAX_RRPV - 1 if not is_prefetch else self.MAX_RRPV)
 
     def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
-        self._rrpv[set_index][way] = 0
+        self._rrpv[set_index * self.num_ways + way] = 0
 
 
 class SHiPPolicy(ReplacementPolicy):
@@ -150,49 +216,89 @@ class SHiPPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
-        self._rrpv = [[self.MAX_RRPV] * num_ways for _ in range(num_sets)]
-        self._signature = [[0] * num_ways for _ in range(num_sets)]
-        self._reused = [[False] * num_ways for _ in range(num_sets)]
-        self._shct = [1] * self.SHCT_SIZE
+        capacity = num_sets * num_ways
+        self._rrpv: List[int] = [self.MAX_RRPV] * capacity
+        self._signature: List[int] = [0] * capacity
+        self._reused = bytearray(capacity)
+        self._shct: List[int] = [1] * self.SHCT_SIZE
 
     @staticmethod
     def _sig(pc: int) -> int:
         return (pc ^ (pc >> 14)) & (SHiPPolicy.SHCT_SIZE - 1)
 
-    def victim(self, set_index: int, valid: List[bool]) -> int:
+    def victim(self, set_index: int, valid: Sequence[bool]) -> int:
         invalid = self._first_invalid(valid)
         if invalid is not None:
             return invalid
-        rrpvs = self._rrpv[set_index]
+        return self.victim_full(set_index)
+
+    def victim_full(self, set_index: int) -> int:
+        rrpvs = self._rrpv
+        base = set_index * self.num_ways
         while True:
             for way in range(self.num_ways):
-                if rrpvs[way] >= self.MAX_RRPV:
+                if rrpvs[base + way] >= self.MAX_RRPV:
                     return way
             for way in range(self.num_ways):
-                rrpvs[way] += 1
+                rrpvs[base + way] += 1
+
+    def evict_fill_full(self, set_index: int, pc: int,
+                        is_prefetch: bool) -> int:
+        # Fused victim + on_eviction + on_fill (SHiP never reads the
+        # evicted block's address, only its own per-way state).
+        num_ways = self.num_ways
+        rrpvs = self._rrpv
+        base = set_index * num_ways
+        max_rrpv = self.MAX_RRPV
+        while True:
+            way = 0
+            found = -1
+            for way in range(num_ways):
+                if rrpvs[base + way] >= max_rrpv:
+                    found = way
+                    break
+            if found >= 0:
+                break
+            for way in range(num_ways):
+                rrpvs[base + way] += 1
+        slot = base + found
+        shct = self._shct
+        reused = self._reused
+        if not reused[slot]:
+            old_sig = self._signature[slot]
+            if shct[old_sig] > 0:
+                shct[old_sig] -= 1
+        sig = (pc ^ (pc >> 14)) & (self.SHCT_SIZE - 1)
+        self._signature[slot] = sig
+        reused[slot] = 0
+        rrpvs[slot] = max_rrpv if shct[sig] == 0 else max_rrpv - 1
+        return found
 
     def on_fill(self, set_index: int, way: int, pc: int, address: int,
                 is_prefetch: bool = False) -> None:
-        sig = self._sig(pc)
-        self._signature[set_index][way] = sig
-        self._reused[set_index][way] = False
+        slot = set_index * self.num_ways + way
+        sig = (pc ^ (pc >> 14)) & (self.SHCT_SIZE - 1)
+        self._signature[slot] = sig
+        self._reused[slot] = 0
         if self._shct[sig] == 0:
-            self._rrpv[set_index][way] = self.MAX_RRPV
+            self._rrpv[slot] = self.MAX_RRPV
         else:
-            self._rrpv[set_index][way] = self.MAX_RRPV - 1
+            self._rrpv[slot] = self.MAX_RRPV - 1
 
     def on_hit(self, set_index: int, way: int, pc: int, address: int) -> None:
-        self._rrpv[set_index][way] = 0
-        if not self._reused[set_index][way]:
-            self._reused[set_index][way] = True
-            sig = self._signature[set_index][way]
+        slot = set_index * self.num_ways + way
+        self._rrpv[slot] = 0
+        if not self._reused[slot]:
+            self._reused[slot] = 1
+            sig = self._signature[slot]
             if self._shct[sig] < self.SHCT_MAX:
                 self._shct[sig] += 1
 
     def on_eviction(self, set_index: int, way: int, address: int,
                     was_reused: bool) -> None:
-        sig = self._signature[set_index][way]
-        if not self._reused[set_index][way]:
+        slot = set_index * self.num_ways + way
+        if not self._reused[slot]:
+            sig = self._signature[slot]
             if self._shct[sig] > 0:
                 self._shct[sig] -= 1
 

@@ -19,29 +19,40 @@ Accuracy and coverage follow the paper's Equations 3 and 4:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadContext:
-    """Program context available when a load is allocated in the load queue."""
+    """Program context available when a load is allocated in the load queue.
+
+    The Hermes engine reuses one instance per engine on its hot path, so
+    a context captured inside a :class:`PredictionRecord` is only valid
+    until the next load is predicted.
+    """
 
     pc: int
     address: int
     cycle: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PredictionRecord:
-    """One prediction plus the metadata needed to train on it later."""
+    """One prediction plus the metadata needed to train on it later.
+
+    Predictors may reuse their ``metadata`` object between predictions
+    (POPET does); a record must be trained before the next predict call
+    on the same predictor — exactly the predict -> load -> train order
+    the simulator follows.
+    """
 
     context: LoadContext
     predicted_offchip: bool
     metadata: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PredictorStats:
     """Confusion-matrix counters for off-chip prediction."""
 
@@ -100,16 +111,37 @@ class OffChipPredictor(ABC):
 
     def __init__(self) -> None:
         self.stats = PredictorStats()
+        # Subclasses may set a reusable PredictionRecord here to make
+        # predict() allocation-free (POPET does); when None, every call
+        # allocates a fresh record.
+        self._record: Optional[PredictionRecord] = None
 
     def predict(self, context: LoadContext) -> PredictionRecord:
         """Predict whether the load described by ``context`` will go off-chip."""
         predicted, metadata = self._predict(context)
-        return PredictionRecord(context=context, predicted_offchip=predicted,
-                                metadata=metadata)
+        record = self._record
+        if record is None:
+            return PredictionRecord(context=context, predicted_offchip=predicted,
+                                    metadata=metadata)
+        record.context = context
+        record.predicted_offchip = predicted
+        record.metadata = metadata
+        return record
 
     def train(self, record: PredictionRecord, went_offchip: bool) -> None:
         """Train on the true outcome of a previously predicted load."""
-        self.stats.record(record.predicted_offchip, went_offchip)
+        # Confusion-matrix accounting, inlined from PredictorStats.record
+        # (this runs once per simulated load).
+        stats = self.stats
+        if record.predicted_offchip:
+            if went_offchip:
+                stats.true_positives += 1
+            else:
+                stats.false_positives += 1
+        elif went_offchip:
+            stats.false_negatives += 1
+        else:
+            stats.true_negatives += 1
         self._train(record, went_offchip)
 
     @abstractmethod

@@ -34,6 +34,8 @@ class PageBuffer:
     lookup has the set-on-read behaviour described in the paper).
     """
 
+    __slots__ = ("entries", "_buffer")
+
     def __init__(self, entries: int = 64) -> None:
         if entries <= 0:
             raise ValueError("entries must be positive")
@@ -65,27 +67,47 @@ class PageBuffer:
 
 
 class LoadPCHistory:
-    """Shift register of the last N load PCs (default 4, per the paper)."""
+    """Shift register of the last N load PCs (default 4, per the paper).
+
+    Backed by a fixed list with a circular head index, so ``push`` is O(1)
+    instead of the O(depth) ``list.pop(0)`` shift; ``shifted_xor`` walks
+    the entries in logical (oldest -> newest) order, so its value is
+    identical to the shift-register formulation.
+    """
+
+    __slots__ = ("depth", "_pcs", "_head")
 
     def __init__(self, depth: int = 4) -> None:
         if depth <= 0:
             raise ValueError("depth must be positive")
         self.depth = depth
         self._pcs: List[int] = [0] * depth
+        # Index of the oldest entry (the next slot to overwrite).
+        self._head = 0
 
     def push(self, pc: int) -> None:
-        self._pcs.pop(0)
-        self._pcs.append(pc)
+        head = self._head
+        self._pcs[head] = pc
+        head += 1
+        self._head = 0 if head == self.depth else head
 
     def shifted_xor(self) -> int:
         """Shifted XOR of the recorded PCs (feature 15/16 of Table 1)."""
+        pcs = self._pcs
+        depth = self.depth
+        head = self._head
         value = 0
-        for i, pc in enumerate(self._pcs):
-            value ^= pc << i
+        for i in range(depth):
+            index = head + i
+            if index >= depth:
+                index -= depth
+            value ^= pcs[index] << i
         return value
 
     def snapshot(self) -> Tuple[int, ...]:
-        return tuple(self._pcs)
+        """The recorded PCs in logical (oldest -> newest) order."""
+        head = self._head
+        return tuple(self._pcs[(head + i) % self.depth] for i in range(self.depth))
 
 
 @dataclass(frozen=True)
@@ -112,6 +134,8 @@ class FeatureExtractor:
     One extractor instance is owned by one POPET instance; the simulator
     never touches it directly.
     """
+
+    __slots__ = ("page_buffer", "pc_history")
 
     def __init__(self, page_buffer_entries: int = 64, pc_history_depth: int = 4) -> None:
         self.page_buffer = PageBuffer(page_buffer_entries)

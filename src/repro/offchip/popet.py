@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
+from repro.memory.address import BLOCK_BITS, PAGE_BITS, PAGE_SIZE
+from repro.offchip.base import (
+    LoadContext,
+    OffChipPredictor,
+    PredictionRecord,
+)
 from repro.offchip.registry import register_predictor
 from repro.offchip.features import (
     FeatureExtractor,
@@ -58,13 +63,29 @@ class POPETConfig:
             get_feature(name)
 
 
-@dataclass
 class _PredictionMetadata:
-    """Metadata stored in the LQ entry for training (Table 3, "LQ Metadata")."""
+    """Metadata stored in the LQ entry for training (Table 3, "LQ Metadata").
 
-    feature_indices: Tuple[int, ...]
-    perceptron_sum: int
-    first_access: bool
+    One instance (with one index buffer) is reused by each POPET — the
+    simulator always trains a prediction before making the next one.
+    """
+
+    __slots__ = ("feature_indices", "perceptron_sum", "first_access")
+
+    def __init__(self, feature_indices, perceptron_sum: int = 0,
+                 first_access: bool = False) -> None:
+        self.feature_indices = feature_indices
+        self.perceptron_sum = perceptron_sum
+        self.first_access = first_access
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MASK48 = 0xFFFFFFFFFFFF
+_MIX_K = 0x9E3779B1
+# Address geometry (single source of truth: repro.memory.address).
+_PAGE_OFFSET_MASK = PAGE_SIZE - 1
+_BYTE_OFFSET_MASK = (1 << BLOCK_BITS) - 1
+_CL_OFFSET_BITS = PAGE_BITS - BLOCK_BITS
 
 
 class POPET(OffChipPredictor):
@@ -84,44 +105,240 @@ class POPET(OffChipPredictor):
             pc_history_depth=self.config.pc_history_depth)
         self.training_events = 0
         self.training_skipped_saturated = 0
+        # Fused per-feature pipeline: (compute, fold shifts, index mask,
+        # weight table).  The folded-XOR hash is inlined in _predict so
+        # one load costs one Python call per feature instead of four.
+        self._pipeline: List[Tuple[Any, Tuple[int, ...], int, List[int]]] = []
+        for spec, table in zip(self.features, self.weights):
+            bits = spec.table_size.bit_length() - 1
+            shifts = tuple(range(bits, 64, bits)) if bits else ()
+            self._pipeline.append((spec.compute, shifts, spec.table_size - 1, table))
+        self._indices: List[int] = [0] * len(self.features)
+        self._metadata = _PredictionMetadata(self._indices)
+        # The paper's default feature set gets a fully fused prediction
+        # path (all five features + hashes inlined, zero Python calls
+        # beyond the page-buffer probe).
+        self._use_fused = list(self.config.feature_names) == SELECTED_FEATURES
+        # Reuse one PredictionRecord per POPET (see OffChipPredictor.predict).
+        self._record = PredictionRecord(context=None, predicted_offchip=False)
+        # Memoised hashed indices for the fused path.  Each cache maps a
+        # feature value (a pure function of pc/offset/first-access bit) to
+        # its folded-XOR table index, so steady-state loads replace ~6
+        # big-int operations per feature with one dict probe.
+        self._ix0_cache: Dict[int, int] = {}
+        self._ix1_cache: Dict[int, int] = {}
+        self._ix2_cache: Dict[int, int] = {}
+        self._ix4_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Prediction (Fig. 8 pipeline: extract -> index -> sum -> threshold)
     # ------------------------------------------------------------------ #
 
+    def predict(self, context: LoadContext) -> PredictionRecord:
+        """Fully fused predict for the default feature set.
+
+        Bit-identical to the generic ``OffChipPredictor.predict`` +
+        ``_predict`` pipeline: the page-buffer probe, PC-history push,
+        feature hashes and perceptron sum are inlined so one prediction
+        costs a single Python call.
+        """
+        if not self._use_fused:
+            return OffChipPredictor.predict(self, context)
+        pc = context.pc
+        address = context.address
+        extractor = self.extractor
+
+        # Page buffer (PageBuffer.first_access, inlined).
+        page_buffer = extractor.page_buffer
+        buffer = page_buffer._buffer
+        page = address >> PAGE_BITS
+        line_bit = 1 << ((address & _PAGE_OFFSET_MASK) >> BLOCK_BITS)
+        bitmap = buffer.get(page)
+        if bitmap is None:
+            if len(buffer) >= page_buffer.entries:
+                buffer.popitem(last=False)
+            buffer[page] = line_bit
+            first = True
+        else:
+            buffer.move_to_end(page)
+            if bitmap & line_bit:
+                first = False
+            else:
+                buffer[page] = bitmap | line_bit
+                first = True
+
+        # PC history push (LoadPCHistory.push, inlined).
+        history = extractor.pc_history
+        head = history._head
+        history._pcs[head] = pc
+        head += 1
+        history._head = 0 if head == history.depth else head
+
+        predicted, metadata = self._compute_fused(pc, address, first, history)
+        record = self._record
+        record.context = context
+        record.predicted_offchip = predicted
+        record.metadata = metadata
+        return record
+
     def _predict(self, context: LoadContext) -> Tuple[bool, Any]:
-        first_access = self.extractor.observe(context.pc, context.address)
-        indices = tuple(spec.index(self.extractor, context.pc, context.address,
-                                   first_access)
-                        for spec in self.features)
+        # Only reached for custom feature subsets: the fused default case
+        # is intercepted by the predict() override above.
+        pc = context.pc
+        address = context.address
+        extractor = self.extractor
+        first_access = extractor.page_buffer.first_access(address)
+        extractor.pc_history.push(pc)
+        indices = self._indices
         total = 0
-        for table, index in zip(self.weights, indices):
+        position = 0
+        for compute, shifts, mask, table in self._pipeline:
+            value = compute(extractor, pc, address, first_access) & _MASK64
+            folded = value
+            for shift in shifts:
+                chunk = value >> shift
+                if not chunk:
+                    break
+                folded ^= chunk
+            index = folded & mask if mask else 0
+            indices[position] = index
+            position += 1
             total += table[index]
-        predicted = total >= self.config.activation_threshold
-        metadata = _PredictionMetadata(feature_indices=indices,
-                                       perceptron_sum=total,
-                                       first_access=first_access)
-        return predicted, metadata
+        metadata = self._metadata
+        metadata.perceptron_sum = total
+        metadata.first_access = first_access
+        return total >= self.config.activation_threshold, metadata
+
+    def _compute_fused(self, pc: int, address: int, first: bool,
+                       history) -> Tuple[bool, Any]:
+        """Hand-inlined feature hashing for the default Table 2 feature set.
+
+        Produces bit-identical indices/sums to the generic pipeline:
+        ``_mix``, the folded-XOR hash, and ``shifted_xor`` are inlined
+        with the same arithmetic.  The caller has already updated the
+        page buffer (``first``) and pushed ``pc`` into ``history``.
+        """
+        cl_offset = (address & _PAGE_OFFSET_MASK) >> BLOCK_BITS
+
+        # 1. pc_xor_cl_offset (1024-entry table, 10-bit folded XOR),
+        #    memoised on (pc, cl_offset).
+        key = (pc << _CL_OFFSET_BITS) | cl_offset
+        index0 = self._ix0_cache.get(key, -1)
+        if index0 < 0:
+            value = ((pc & _MASK48) * _MIX_K + cl_offset) & _MASK64
+            folded = (value ^ (value >> 10) ^ (value >> 20) ^ (value >> 30)
+                      ^ (value >> 40) ^ (value >> 50) ^ (value >> 60))
+            index0 = folded & 1023
+            if len(self._ix0_cache) > 131072:  # safety bound for huge PC sets
+                self._ix0_cache.clear()
+            self._ix0_cache[key] = index0
+
+        # 2. pc_xor_byte_offset (1024 entries), memoised on (pc, byte offset).
+        key = (pc << _CL_OFFSET_BITS) | (address & _BYTE_OFFSET_MASK)
+        index1 = self._ix1_cache.get(key, -1)
+        if index1 < 0:
+            value = ((pc & _MASK48) * _MIX_K
+                     + (address & _BYTE_OFFSET_MASK)) & _MASK64
+            folded = (value ^ (value >> 10) ^ (value >> 20) ^ (value >> 30)
+                      ^ (value >> 40) ^ (value >> 50) ^ (value >> 60))
+            index1 = folded & 1023
+            if len(self._ix1_cache) > 131072:
+                self._ix1_cache.clear()
+            self._ix1_cache[key] = index1
+
+        # 3. pc_first_access (1024 entries), memoised on (pc, first).
+        key = (pc << 1) | first
+        index2 = self._ix2_cache.get(key, -1)
+        if index2 < 0:
+            value = key & _MASK64
+            folded = (value ^ (value >> 10) ^ (value >> 20) ^ (value >> 30)
+                      ^ (value >> 40) ^ (value >> 50) ^ (value >> 60))
+            index2 = folded & 1023
+            if len(self._ix2_cache) > 131072:
+                self._ix2_cache.clear()
+            self._ix2_cache[key] = index2
+
+        # 4. cl_offset_first_access (128 entries, 7-bit folded XOR; the
+        #    value fits in 7 bits so the fold is the identity).
+        index3 = ((cl_offset << 1) | first) & 127
+
+        # 5. last_4_load_pcs: shifted XOR of the history in logical order
+        #    (unrolled for the default depth of 4), memoised on the value.
+        pcs = history._pcs
+        head = history._head
+        if history.depth == 4:
+            value = (pcs[head] ^ (pcs[head - 3] << 1) ^ (pcs[head - 2] << 2)
+                     ^ (pcs[head - 1] << 3)) & _MASK64
+        else:
+            depth = history.depth
+            value = 0
+            for i in range(depth):
+                slot = head + i
+                if slot >= depth:
+                    slot -= depth
+                value ^= pcs[slot] << i
+            value &= _MASK64
+        index4 = self._ix4_cache.get(value, -1)
+        if index4 < 0:
+            folded = (value ^ (value >> 10) ^ (value >> 20) ^ (value >> 30)
+                      ^ (value >> 40) ^ (value >> 50) ^ (value >> 60))
+            index4 = folded & 1023
+            if len(self._ix4_cache) > 131072:
+                self._ix4_cache.clear()
+            self._ix4_cache[value] = index4
+
+        weights = self.weights
+        total = (weights[0][index0] + weights[1][index1] + weights[2][index2]
+                 + weights[3][index3] + weights[4][index4])
+
+        indices = self._indices
+        indices[0] = index0
+        indices[1] = index1
+        indices[2] = index2
+        indices[3] = index3
+        indices[4] = index4
+        metadata = self._metadata
+        metadata.perceptron_sum = total
+        metadata.first_access = first
+        return total >= self.config.activation_threshold, metadata
 
     # ------------------------------------------------------------------ #
     # Training (Section 6.1.2)
     # ------------------------------------------------------------------ #
 
+    def train(self, record: PredictionRecord, went_offchip: bool) -> None:
+        """Confusion-matrix accounting (inlined) + the weight update."""
+        stats = self.stats
+        if record.predicted_offchip:
+            if went_offchip:
+                stats.true_positives += 1
+            else:
+                stats.false_positives += 1
+        elif went_offchip:
+            stats.false_negatives += 1
+        else:
+            stats.true_negatives += 1
+        self._train(record, went_offchip)
+
     def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
         metadata: _PredictionMetadata = record.metadata
         total = metadata.perceptron_sum
         mispredicted = record.predicted_offchip != went_offchip
-        within_thresholds = (self.config.negative_training_threshold
-                             <= total
-                             <= self.config.positive_training_threshold)
-        if not mispredicted and not within_thresholds:
+        config = self.config
+        if not mispredicted and not (config.negative_training_threshold
+                                     <= total
+                                     <= config.positive_training_threshold):
             # Saturated and correct: skip training so weights do not
             # over-saturate (helps adapting to phase changes).
             self.training_skipped_saturated += 1
             return
         self.training_events += 1
         delta = 1 if went_offchip else -1
-        for table, index in zip(self.weights, metadata.feature_indices):
+        indices = metadata.feature_indices
+        position = 0
+        for table in self.weights:
+            index = indices[position]
+            position += 1
             value = table[index] + delta
             if value > WEIGHT_MAX:
                 value = WEIGHT_MAX

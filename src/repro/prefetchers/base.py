@@ -16,8 +16,12 @@ from typing import Dict, List
 from repro.memory.address import BLOCK_SIZE, PAGE_SIZE, block_address, page_number
 from repro.prefetchers.registry import register_prefetcher
 
+#: Shared empty candidate list — hot paths return it instead of allocating
+#: a fresh empty list per access (callers never mutate candidate lists).
+_NO_CANDIDATES: List[int] = []
 
-@dataclass
+
+@dataclass(slots=True)
 class PrefetcherStats:
     """Issue-side statistics; usefulness is tracked by the caches."""
 
@@ -82,7 +86,7 @@ class NoPrefetcher(Prefetcher):
     name = "none"
 
     def _generate(self, address: int, pc: int, cycle: int, hit: bool) -> List[int]:
-        return []
+        return _NO_CANDIDATES
 
 
 @register_prefetcher("next_line")

@@ -182,8 +182,14 @@ class SPPPrefetcher(Prefetcher):
         entry = self._patterns.get(self._pattern_index(signature))
         if entry is None or entry.total == 0 or not entry.deltas:
             return None
-        delta, count = max(entry.deltas.items(), key=lambda item: item[1])
-        return delta, count / entry.total
+        # Manual arg-max (first maximum wins, like max(..., key=...)).
+        best_delta = None
+        best_count = 0
+        for delta, count in entry.deltas.items():
+            if count > best_count:
+                best_count = count
+                best_delta = delta
+        return best_delta, best_count / entry.total
 
     def storage_bits(self) -> int:
         # Paper Table 6: SPP + perceptron filter = 39.3 KB.

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.memory.address import BLOCK_SIZE, block_address, block_number, page_number
-from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.base import Prefetcher, _NO_CANDIDATES
 from repro.prefetchers.registry import register_prefetcher
 
 
@@ -93,7 +93,7 @@ class StreamerPrefetcher(Prefetcher):
             if len(self._regions) >= self.table_size:
                 self._regions.popitem(last=False)
             self._regions[page] = [offset, 0, 0]
-            return []
+            return _NO_CANDIDATES
         last_offset, direction, confidence = entry
         new_direction = 1 if offset > last_offset else (-1 if offset < last_offset else 0)
         if new_direction != 0 and new_direction == direction:
@@ -104,7 +104,7 @@ class StreamerPrefetcher(Prefetcher):
         entry[0], entry[1], entry[2] = offset, direction, confidence
         self._regions.move_to_end(page)
         if confidence < 2 or direction == 0:
-            return []
+            return _NO_CANDIDATES
         base = block_address(address)
         candidates = [base + direction * i * BLOCK_SIZE for i in range(1, self.degree + 1)]
         return self._clamp_to_page(address, candidates)

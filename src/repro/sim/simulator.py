@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.hermes import HermesEngine, HermesStats
 from repro.cpu.core import CoreStats, OutOfOrderCore
@@ -80,19 +80,20 @@ def simulate_trace(config: SystemConfig, trace: Trace,
     (Section 7).
     """
     system = build_system(config, predictor=predictor)
-    accesses = trace.accesses if max_accesses is None else trace.accesses[:max_accesses]
-    warmup_count = int(len(accesses) * config.warmup_fraction)
+    accesses = trace.accesses
+    total = len(accesses) if max_accesses is None else min(max_accesses, len(accesses))
+    warmup_count = int(total * config.warmup_fraction)
 
     core = system.core
     core.begin()
-    for access in accesses[:warmup_count]:
-        core.step(access)
+    # run_span iterates the shared access list in place — no per-run copy
+    # of the (potentially huge) trace, and the core loop stays inlined.
+    core.run_span(accesses, 0, warmup_count)
     if warmup_count:
         # Keep microarchitectural state, discard warmup statistics.
         system.reset_stats()
         core.stats = CoreStats()
-    for access in accesses[warmup_count:]:
-        core.step(access)
+    core.run_span(accesses, warmup_count, total)
     core_stats = core.finalize()
 
     return _collect(system, trace, core_stats)

@@ -48,32 +48,33 @@ def test_timing_row_hit_miss_conflict():
 
 def test_controller_single_access_latency():
     controller = MemoryController()
-    request = controller.access(0x10000, cycle=100)
+    ready = controller.access(0x10000, cycle=100)
     config = controller.config
     expected = 100 + config.trcd_cycles + config.tcas_cycles + config.burst_cycles
-    assert request.ready_cycle == expected
+    assert ready == expected
     assert controller.stats.demand_requests == 1
 
 
 def test_controller_row_buffer_hit_is_faster():
     controller = MemoryController()
-    first = controller.access(0x10000, cycle=0)
-    second = controller.access(0x10040, cycle=first.ready_cycle)
-    assert second.latency < first.latency
+    first_latency = controller.access(0x10000, cycle=0) - 0
+    second_start = first_latency
+    second_latency = controller.access(0x10040, cycle=second_start) - second_start
+    assert second_latency < first_latency
 
 
 def test_controller_merges_requests_to_same_block():
     controller = MemoryController()
-    first = controller.access(0x20000, cycle=0)
-    second = controller.access(0x20000, cycle=10)
-    assert second.ready_cycle == first.ready_cycle
+    first_ready = controller.access(0x20000, cycle=0)
+    second_ready = controller.access(0x20000, cycle=10)
+    assert second_ready == first_ready
     assert controller.stats.merged_requests == 1
 
 
 def test_hermes_request_matching_and_claim():
     controller = MemoryController()
-    hermes = controller.access(0x30000, cycle=0, source=RequestSource.HERMES)
-    assert controller.lookup_inflight(0x30000, cycle=10) == hermes.ready_cycle
+    hermes_ready = controller.access(0x30000, cycle=0, source=RequestSource.HERMES)
+    assert controller.lookup_inflight(0x30000, cycle=10) == hermes_ready
     assert controller.claim_hermes(0x30000)
     assert controller.stats.hermes_consumed == 1
     # Claiming twice must fail (already consumed).
@@ -82,8 +83,8 @@ def test_hermes_request_matching_and_claim():
 
 def test_unclaimed_hermes_requests_are_dropped():
     controller = MemoryController()
-    request = controller.access(0x40000, cycle=0, source=RequestSource.HERMES)
-    dropped = controller.drain_unclaimed_hermes(cycle=request.ready_cycle + 1)
+    ready = controller.access(0x40000, cycle=0, source=RequestSource.HERMES)
+    dropped = controller.drain_unclaimed_hermes(cycle=ready + 1)
     assert dropped == 1
     assert controller.stats.hermes_dropped == 1
 
@@ -101,9 +102,9 @@ def test_channel_bandwidth_serialises_bursts():
     controller = MemoryController(config)
     # Two requests to different banks at the same cycle: the second data
     # transfer must wait for the first to release the channel.
-    first = controller.access(0x0, cycle=0)
-    second = controller.access(0x100000, cycle=0)
-    assert second.ready_cycle >= first.ready_cycle + config.burst_cycles
+    first_ready = controller.access(0x0, cycle=0)
+    second_ready = controller.access(0x100000, cycle=0)
+    assert second_ready >= first_ready + config.burst_cycles
 
 
 def test_row_buffer_hit_rate_metric():
@@ -122,9 +123,8 @@ def test_ready_cycle_never_before_arrival(requests):
     cycle = 0
     for block, gap in requests:
         cycle += gap
-        request = controller.access(block * 64, cycle=cycle)
-        assert request.ready_cycle >= cycle
-        assert request.latency >= 0
+        ready = controller.access(block * 64, cycle=cycle)
+        assert ready >= cycle
 
 
 @settings(max_examples=25, deadline=None)

@@ -86,17 +86,18 @@ def test_baseline_offchip_slower_than_hermes_offchip():
     baseline = make_hierarchy()
     with_hermes = make_hierarchy()
     plain = baseline.load(0x400000, pc=0x400, cycle=0)
-    hermes_ready = with_hermes.memory_controller.access(0x400000, 10).ready_cycle
+    hermes_ready = with_hermes.memory_controller.access(0x400000, 10)
     assisted = with_hermes.load(0x400000, pc=0x400, cycle=0, hermes_ready=hermes_ready)
     assert assisted.latency < plain.latency
 
 
 def test_mshr_merge_on_back_to_back_misses():
     hierarchy = make_hierarchy()
-    first = hierarchy.load(0x500000, pc=0x400, cycle=0)
+    # LoadOutcome is a reused record: copy the field before the next load.
+    first_completion = hierarchy.load(0x500000, pc=0x400, cycle=0).completion_cycle
     merged = hierarchy.load(0x500008, pc=0x404, cycle=1)
     assert merged.served_by == "MSHR"
-    assert merged.completion_cycle <= first.completion_cycle
+    assert merged.completion_cycle <= first_completion
     assert not merged.went_offchip
 
 

@@ -1,0 +1,82 @@
+"""Unit tests for the repro.perf benchmark harness plumbing."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchEntry,
+    BenchReport,
+    compare_reports,
+    microbench_configs,
+    run_microbench,
+    write_report,
+)
+from repro.perf.golden import GOLDEN_PREDICTORS, GOLDEN_PREFETCHERS, golden_config
+
+
+def test_bench_report_aggregates():
+    report = BenchReport(tag="t", entries=[
+        BenchEntry("a", "w1", accesses=1000, wall_s=0.5),
+        BenchEntry("a", "w2", accesses=1000, wall_s=1.5),
+    ])
+    assert report.total_accesses == 2000
+    assert report.total_wall_s == pytest.approx(2.0)
+    assert report.accesses_per_sec == pytest.approx(1000.0)
+    payload = report.as_dict()
+    assert payload["tag"] == "t"
+    assert len(payload["configs"]) == 2
+    assert payload["configs"][0]["accesses_per_sec"] == pytest.approx(2000.0)
+
+
+def test_write_report_round_trips(tmp_path):
+    report = BenchReport(tag="x", entries=[
+        BenchEntry("cfg", "wl", accesses=100, wall_s=0.1)])
+    path = write_report(report, tmp_path / "BENCH_x.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["accesses_per_sec"] == pytest.approx(1000.0)
+
+
+def test_compare_reports_flags_regression():
+    baseline = {"accesses_per_sec": 1000.0}
+    ok = {"accesses_per_sec": 800.0}
+    bad = {"accesses_per_sec": 500.0}
+    assert compare_reports(ok, baseline, max_regression=0.30) == []
+    failures = compare_reports(bad, baseline, max_regression=0.30)
+    assert len(failures) == 1
+    assert "regressed" in failures[0]
+
+
+def test_compare_reports_validates_threshold():
+    with pytest.raises(ValueError):
+        compare_reports({}, {}, max_regression=1.5)
+
+
+def test_microbench_configs_cover_hot_path_shapes():
+    labels = [config.label for config in microbench_configs()]
+    assert "no-prefetching" in labels
+    assert "pythia" in labels
+    assert any("hermes" in label for label in labels)
+
+
+def test_golden_config_matrix_labels_are_unique():
+    labels = {golden_config(pf, pd).label
+              for pf in GOLDEN_PREFETCHERS for pd in GOLDEN_PREDICTORS}
+    assert len(labels) == len(GOLDEN_PREFETCHERS) * len(GOLDEN_PREDICTORS)
+
+
+def test_run_microbench_smoke():
+    entries = run_microbench(num_accesses=500,
+                             workloads=["cvp.server_int"],
+                             configs=[microbench_configs()[0]],
+                             repeats=1)
+    assert len(entries) == 1
+    assert entries[0].accesses == 500
+    assert entries[0].accesses_per_sec > 0
+
+
+def test_run_microbench_validates_arguments():
+    with pytest.raises(ValueError):
+        run_microbench(num_accesses=0)
+    with pytest.raises(ValueError):
+        run_microbench(repeats=0)

@@ -56,7 +56,8 @@ def test_srrip_hit_promotes_block():
 def test_ship_untrained_signature_inserts_with_near_rrpv():
     policy = SHiPPolicy(1, 2)
     policy.on_fill(0, 0, pc=0x400, address=0)
-    assert policy._rrpv[0][0] == SHiPPolicy.MAX_RRPV - 1
+    # Policy state is flat: slot = set_index * ways + way.
+    assert policy._rrpv[0] == SHiPPolicy.MAX_RRPV - 1
 
 
 def test_ship_learns_dead_signature():
@@ -68,7 +69,7 @@ def test_ship_learns_dead_signature():
         policy.on_eviction(0, 0, address=0, was_reused=False)
     policy.on_fill(0, 0, pc=pc, address=0)
     # The signature's counter reached zero: insertion is distant (evict-first).
-    assert policy._rrpv[0][0] == SHiPPolicy.MAX_RRPV
+    assert policy._rrpv[0] == SHiPPolicy.MAX_RRPV
 
 
 def test_ship_reused_signature_keeps_near_insertion():
@@ -77,7 +78,7 @@ def test_ship_reused_signature_keeps_near_insertion():
     policy.on_fill(0, 0, pc=pc, address=0)
     policy.on_hit(0, 0, pc=pc, address=0)
     policy.on_fill(0, 1, pc=pc, address=64)
-    assert policy._rrpv[0][1] == SHiPPolicy.MAX_RRPV - 1
+    assert policy._rrpv[1] == SHiPPolicy.MAX_RRPV - 1
 
 
 def test_random_policy_is_deterministic_with_seed():
