@@ -16,6 +16,15 @@ Quickstart::
     baseline = simulate_trace(SystemConfig.baseline("pythia"), trace)
     hermes = simulate_trace(SystemConfig.with_hermes("popet", prefetcher="pythia"), trace)
     print(hermes.ipc / baseline.ipc)
+
+The same system is scriptable from the shell through the unified CLI
+(``python -m repro``, console script ``repro``): ``run`` for single
+simulations, ``sweep`` for job matrices and paper figures, ``trace``
+for generating/converting/inspecting trace files in the interchange
+formats of :mod:`repro.workloads.formats`, and ``bench`` for the
+:mod:`repro.perf` harness.  External traces stream through
+:func:`simulate_stream` under bounded memory regardless of length.
+See README.md for a tour.
 """
 
 from repro.analysis import geomean, geomean_speedup, speedup_by_category
@@ -40,10 +49,17 @@ from repro.sim import (
     SystemConfig,
     build_system,
     simulate_multicore,
+    simulate_stream,
     simulate_suite,
     simulate_trace,
 )
-from repro.workloads import Trace, make_trace, workload_names, workload_suite
+from repro.workloads import (
+    StreamingTrace,
+    Trace,
+    make_trace,
+    workload_names,
+    workload_suite,
+)
 
 __version__ = "1.0.0"
 
@@ -68,12 +84,14 @@ __all__ = [
     "make_prefetcher",
     # workloads
     "Trace",
+    "StreamingTrace",
     "make_trace",
     "workload_names",
     "workload_suite",
     # simulation
     "build_system",
     "simulate_trace",
+    "simulate_stream",
     "simulate_suite",
     "simulate_multicore",
     "SimulationResult",

@@ -20,6 +20,7 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def average(values: Iterable[float]) -> float:
+    """Arithmetic mean, 0.0 for an empty sequence."""
     values = list(values)
     if not values:
         return 0.0

@@ -1,0 +1,456 @@
+"""Argument parsing and subcommand implementations for ``python -m repro``.
+
+Kept dependency-free (argparse + json only) and import-light at the top
+level; heavyweight modules are imported inside the subcommand handlers
+so ``--help`` stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+PROG = "python -m repro"
+
+#: Default trace format when piping through stdio (where the extension
+#: cannot tell us).
+STDIO_DEFAULT_FORMAT = "jsonl"
+
+
+# ---------------------------------------------------------------------- #
+# Shared helpers
+# ---------------------------------------------------------------------- #
+
+def _emit_json(payload: Any, output: str) -> None:
+    """Write ``payload`` as pretty JSON to a file or (``-``) stdout."""
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    if output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _build_config(prefetcher: str, predictor: Optional[str],
+                  pessimistic: bool, warmup_fraction: Optional[float]):
+    """A SystemConfig from the CLI's prefetcher/predictor flags."""
+    from repro.sim.config import SystemConfig
+    if predictor is None or predictor == "none":
+        config = SystemConfig.baseline(prefetcher)
+    else:
+        config = SystemConfig.with_hermes(predictor, prefetcher=prefetcher,
+                                          optimistic=not pessimistic)
+    if warmup_fraction is not None:
+        config.warmup_fraction = warmup_fraction
+    return config
+
+
+def _result_payload(result) -> Dict[str, Any]:
+    """One simulation result as a JSON-ready dictionary.
+
+    ``summary`` is the flat row used by the paper's CSV roll-ups;
+    ``detail`` carries every stats section the simulator emits (the same
+    shape as the golden-equivalence fingerprints).
+    """
+    return {
+        "summary": result.as_dict(),
+        "detail": {
+            "core": result.core.as_dict(),
+            "hierarchy": result.hierarchy,
+            "memory_controller": result.memory_controller,
+            "predictor": result.predictor,
+            "hermes": result.hermes,
+            "llc": result.llc,
+            "prefetcher": result.prefetcher,
+        },
+    }
+
+
+def _split_list(values: Sequence[str]) -> List[str]:
+    """Flatten repeated/comma-separated option values into one list."""
+    items: List[str] = []
+    for value in values:
+        items.extend(part for part in value.split(",") if part)
+    return items
+
+
+# ---------------------------------------------------------------------- #
+# repro run
+# ---------------------------------------------------------------------- #
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one simulation and print its stats JSON."""
+    from repro.sim.simulator import simulate_stream, simulate_trace
+    config = _build_config(args.prefetcher, args.predictor, args.pessimistic,
+                           args.warmup_fraction)
+    if args.trace is not None:
+        fmt = args.format
+        if fmt is None and args.trace == "-":
+            fmt = STDIO_DEFAULT_FORMAT
+        if args.stream or args.trace == "-":
+            # Stdio is single-pass, so it always goes through the
+            # streaming driver; stats are identical either way as long
+            # as the trace declares its length (traces written by this
+            # package always do — simulate_stream warns otherwise).
+            from repro.workloads.formats import stream_trace
+            source = stream_trace(args.trace, fmt)
+            result = simulate_stream(config, source,
+                                     max_accesses=args.accesses)
+        else:
+            from repro.workloads.formats import read_trace
+            trace = read_trace(args.trace, fmt)
+            if args.accesses is not None and len(trace) > args.accesses:
+                trace = trace.truncated(args.accesses)
+            result = simulate_trace(config, trace)
+    else:
+        from repro.workloads.suite import make_trace
+        accesses = 20000 if args.accesses is None else args.accesses
+        trace = make_trace(args.workload, accesses)
+        result = simulate_trace(config, trace)
+    _emit_json(_result_payload(result), args.output)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro sweep
+# ---------------------------------------------------------------------- #
+
+#: Figure/table name -> experiment runner attribute in repro.experiments.
+FIGURE_RUNNERS: Dict[str, str] = {
+    "fig02": "run_fig02_offchip_loads",
+    "fig03": "run_fig03_stall_cycles",
+    "fig04": "run_fig04_ideal_hermes",
+    "fig05": "run_fig05_offchip_rate",
+    "fig09": "run_fig09_accuracy_coverage",
+    "fig10": "run_fig10_feature_ablation",
+    "fig11": "run_fig11_feature_variability",
+    "fig12": "run_fig12_singlecore_speedup",
+    "fig13": "run_fig13_per_workload_speedup",
+    "fig14": "run_fig14_predictor_comparison",
+    "fig15": "run_fig15_stalls_and_overhead",
+    "fig16": "run_fig16_multicore",
+    "fig17a": "run_fig17a_bandwidth_sensitivity",
+    "fig17b": "run_fig17b_prefetcher_sensitivity",
+    "fig17c": "run_fig17c_issue_latency_sensitivity",
+    "fig17d": "run_fig17d_cache_latency_sensitivity",
+    "fig17e": "run_fig17e_activation_threshold",
+    "fig18": "run_fig18_power",
+    "fig19": "run_fig19_rob_size_sensitivity",
+    "fig20": "run_fig20_llc_size_sensitivity",
+    "fig21": "run_fig21_accuracy_by_prefetcher",
+    "fig22": "run_fig22_overhead_by_prefetcher",
+    "table3": "run_table3_storage",
+    "table6": "run_table6_storage",
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a figure runner or an ad-hoc config x workload job matrix."""
+    import repro.experiments as experiments
+    from repro.experiments.common import ExperimentSetup
+
+    setup = ExperimentSetup(parallel=args.parallel,
+                            max_workers=args.max_workers,
+                            result_cache_dir=args.cache_dir)
+    if args.accesses is not None:
+        setup.num_accesses = args.accesses
+    if args.per_category is not None:
+        setup.per_category = args.per_category
+    if args.categories:
+        setup.categories = _split_list(args.categories)
+
+    if args.figure is not None:
+        ignored = [flag for flag, value in [
+            ("--workloads", args.workloads),
+            ("--prefetchers", args.prefetchers),
+            ("--predictors", args.predictors),
+            ("--pessimistic", args.pessimistic or None),
+            ("--warmup-fraction", args.warmup_fraction),
+        ] if value is not None]
+        if ignored:
+            raise ValueError(
+                f"{', '.join(ignored)} only apply to ad-hoc matrices; "
+                f"--figure {args.figure} runs the paper's own config matrix "
+                f"(drop --figure to sweep a custom matrix)")
+        runner = getattr(experiments, FIGURE_RUNNERS[args.figure])
+        if args.figure.startswith("table"):
+            # Storage tables are closed-form (no simulation), so the
+            # sizing/execution knobs have nothing to apply to.
+            payload = runner()
+        else:
+            payload = runner(setup=setup)
+        _emit_json({"figure": args.figure, "result": payload}, args.output)
+        return 0
+
+    # Ad-hoc matrix mode: every (prefetcher, predictor) label over the
+    # selected workloads, one JSON row per finished job.
+    from repro.runner import SimJob, jobs_for_suite
+    workloads = (_split_list(args.workloads) if args.workloads
+                 else setup.workload_names())
+    jobs: List[SimJob] = []
+    labels: List[str] = []
+    prefetchers = _split_list(args.prefetchers) if args.prefetchers else ["pythia"]
+    predictors = _split_list(args.predictors) if args.predictors else ["none"]
+    for prefetcher in prefetchers:
+        for predictor in predictors:
+            config = _build_config(prefetcher,
+                                   None if predictor == "none" else predictor,
+                                   args.pessimistic, args.warmup_fraction)
+            batch = jobs_for_suite(config, workloads, setup.num_accesses)
+            jobs.extend(batch)
+            labels.extend([config.label] * len(batch))
+    results = setup.runner().run(jobs)
+    rows = []
+    for label, job, result in zip(labels, jobs, results):
+        row = result.as_dict()
+        row["config"] = label
+        rows.append(row)
+    _emit_json({"jobs": len(rows), "rows": rows}, args.output)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro trace
+# ---------------------------------------------------------------------- #
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    """Generate a catalogue workload and serialise it to a trace file."""
+    from repro.workloads.formats import write_trace
+    from repro.workloads.suite import make_trace
+    fmt = args.format
+    if fmt is None and args.out == "-":
+        fmt = STDIO_DEFAULT_FORMAT
+    trace = make_trace(args.workload, args.accesses)
+    write_trace(trace, args.out, fmt)
+    if args.out != "-":
+        print(f"wrote {len(trace)} accesses to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Re-encode a trace file into another format, streaming."""
+    from repro.workloads.formats import convert_trace
+    in_fmt = args.in_format
+    if in_fmt is None and args.source == "-":
+        in_fmt = STDIO_DEFAULT_FORMAT
+    out_fmt = args.out_format
+    if out_fmt is None and args.destination == "-":
+        out_fmt = STDIO_DEFAULT_FORMAT
+    header = convert_trace(args.source, args.destination,
+                           in_fmt=in_fmt, out_fmt=out_fmt)
+    print(f"converted {args.source} -> {args.destination} "
+          f"(workload {header.name!r}, {header.count} accesses)",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    """Stream a trace file once and print its summary statistics.
+
+    The per-record pass is O(1) memory; the unique-PC/unique-block
+    counters use in-memory sets, so footprint scales with the number of
+    *distinct* PCs and cachelines, not with trace length.
+    """
+    from repro.workloads.formats import resolve_format
+    fmt = args.format
+    if fmt is None and args.path == "-":
+        fmt = STDIO_DEFAULT_FORMAT
+    header, records = resolve_format(args.path, fmt).open_stream(args.path)
+    count = loads = instructions = 0
+    pcs = set()
+    blocks = set()
+    for access in records:
+        count += 1
+        loads += access.is_load
+        instructions += access.nonmem_before + 1
+        pcs.add(access.pc)
+        blocks.add(access.address >> 6)
+    _emit_json({
+        "header": header.to_dict(),
+        "memory_instructions": count,
+        "total_instructions": instructions,
+        "loads": loads,
+        "stores": count - loads,
+        "unique_pcs": len(pcs),
+        "unique_blocks": len(blocks),
+        "footprint_mb": len(blocks) * 64 / (1 << 20),
+    }, args.output)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro bench
+# ---------------------------------------------------------------------- #
+
+def cmd_bench(forwarded: Sequence[str]) -> int:
+    """Delegate to the repro.perf harness CLI (``repro bench --help``)."""
+    from repro.perf.__main__ import main as perf_main
+    forwarded = list(forwarded)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return perf_main(forwarded)
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Hermes reproduction: simulations, sweeps, traces and "
+                    "benchmarks from the shell")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ---- run ---------------------------------------------------------- #
+    run = subparsers.add_parser(
+        "run", help="run one simulation and print a stats JSON")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", help="catalogue workload name")
+    source.add_argument("--trace",
+                        help="trace file path (- reads a csv/jsonl pipe "
+                             "from stdin)")
+    run.add_argument("--format", default=None,
+                     help="trace format name (default: by file extension; "
+                          f"{STDIO_DEFAULT_FORMAT} for stdio)")
+    run.add_argument("--stream", action="store_true",
+                     help="stream the trace file in bounded memory instead "
+                          "of materialising it (stdio always streams)")
+    run.add_argument("--accesses", type=int, default=None,
+                     help="memory accesses to simulate (generation length "
+                          "for --workload, cap for --trace; default: 20000 "
+                          "/ the whole file)")
+    _add_config_flags(run)
+    run.add_argument("--output", default="-",
+                     help="stats JSON destination (default: stdout)")
+    run.set_defaults(func=cmd_run)
+
+    # ---- sweep -------------------------------------------------------- #
+    sweep = subparsers.add_parser(
+        "sweep", help="run a figure runner or a config x workload job matrix")
+    sweep.add_argument("--figure", choices=sorted(FIGURE_RUNNERS),
+                       default=None,
+                       help="run this paper figure/table runner (with its "
+                            "own config matrix) instead of an ad-hoc matrix; "
+                            "combines with the sizing/execution knobs but "
+                            "not with --workloads/--prefetchers/--predictors")
+    sweep.add_argument("--workloads", action="append", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="workload names or trace file paths (default: "
+                            "the suite selection)")
+    sweep.add_argument("--prefetchers", action="append", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="prefetcher names for the matrix "
+                            "(default: pythia)")
+    sweep.add_argument("--predictors", action="append", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="off-chip predictor names; 'none' = no Hermes "
+                            "(default: none)")
+    sweep.add_argument("--accesses", type=int, default=None,
+                       help="accesses per workload (default: setup default)")
+    sweep.add_argument("--categories", action="append", default=None,
+                       metavar="CAT[,CAT...]",
+                       help="restrict the suite selection to these "
+                            "categories")
+    sweep.add_argument("--per-category", type=int, default=None,
+                       help="workloads taken per category (default: 2)")
+    sweep.add_argument("--parallel", action="store_true",
+                       help="fan jobs out over a process pool")
+    sweep.add_argument("--max-workers", type=int, default=None,
+                       help="process-pool size (default: cpu count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache directory (jobs found "
+                            "there are not re-run)")
+    sweep.add_argument("--pessimistic", action="store_true",
+                       help="use Hermes-P instead of Hermes-O")
+    sweep.add_argument("--warmup-fraction", type=float, default=None,
+                       help="override the config warmup fraction")
+    sweep.add_argument("--output", default="-",
+                       help="JSON destination (default: stdout)")
+    sweep.set_defaults(func=cmd_sweep)
+
+    # ---- trace -------------------------------------------------------- #
+    trace = subparsers.add_parser(
+        "trace", help="generate, convert and inspect trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_sub.add_parser(
+        "generate", help="serialise a catalogue workload to a trace file")
+    generate.add_argument("--workload", required=True,
+                          help="catalogue workload name")
+    generate.add_argument("--accesses", type=int, default=20000,
+                          help="memory accesses to generate (default: 20000)")
+    generate.add_argument("--out", default="-",
+                          help="destination path (default: stdout pipe)")
+    generate.add_argument("--format", default=None,
+                          help="trace format (default: by extension; "
+                               f"{STDIO_DEFAULT_FORMAT} for stdio)")
+    generate.set_defaults(func=cmd_trace_generate)
+
+    convert = trace_sub.add_parser(
+        "convert", help="re-encode a trace file into another format")
+    convert.add_argument("source", help="input trace path (or -)")
+    convert.add_argument("destination", help="output trace path (or -)")
+    convert.add_argument("--in-format", default=None,
+                         help="input format (default: by extension)")
+    convert.add_argument("--out-format", default=None,
+                         help="output format (default: by extension)")
+    convert.set_defaults(func=cmd_trace_convert)
+
+    inspect = trace_sub.add_parser(
+        "inspect", help="stream a trace file and print summary statistics")
+    inspect.add_argument("path", help="trace path (or -)")
+    inspect.add_argument("--format", default=None,
+                         help="trace format (default: by extension)")
+    inspect.add_argument("--output", default="-",
+                         help="JSON destination (default: stdout)")
+    inspect.set_defaults(func=cmd_trace_inspect)
+
+    # ---- bench -------------------------------------------------------- #
+    # Registered for the top-level help listing only; `main` intercepts
+    # `bench` before argparse so every following argument (including
+    # option-like ones such as --compare) is forwarded verbatim.
+    subparsers.add_parser(
+        "bench", add_help=False,
+        help="throughput benchmark harness (forwards all following "
+             "arguments to python -m repro.perf)")
+
+    return parser
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--prefetcher", default="pythia",
+                        help="prefetcher name, or 'none' (default: pythia)")
+    parser.add_argument("--predictor", default=None,
+                        help="off-chip predictor name enabling Hermes "
+                             "(popet/hmp/ttp/ideal; default: no Hermes)")
+    parser.add_argument("--pessimistic", action="store_true",
+                        help="use Hermes-P instead of Hermes-O")
+    parser.add_argument("--warmup-fraction", type=float, default=None,
+                        help="override the config warmup fraction")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (console script ``repro`` / ``python -m repro``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["bench"]:
+        # Forward everything after `bench` untouched: argparse REMAINDER
+        # cannot capture option-like first arguments (`bench --tag X`).
+        return cmd_bench(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"{PROG}: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `head`) closed the pipe; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

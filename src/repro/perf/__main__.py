@@ -31,6 +31,7 @@ from repro.perf.harness import (
 
 
 def main(argv=None) -> int:
+    """Run the benchmark harness CLI; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf",
         description="Simulation hot-path throughput benchmark")

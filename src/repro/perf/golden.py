@@ -106,6 +106,7 @@ def write_golden(path: Union[str, Path] = GOLDEN_PATH) -> Path:
 
 
 def main(argv=None) -> int:
+    """Regenerate the golden fixture (pass ``--write``); returns exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.golden",
         description="Regenerate the golden equivalence fixture")

@@ -5,7 +5,9 @@ lists executed through pluggable backends with two cache layers:
 
 * :class:`~repro.runner.job.SimJob` / :class:`~repro.runner.job.SweepSpec`
   — one job is (SystemConfig, workload name(s), num_accesses, mode); a
-  figure is a list of jobs plus a reducer.
+  figure is a list of jobs plus a reducer.  A workload "name" may also
+  be an external trace file path in any format registered with
+  :mod:`repro.workloads.formats`.
 * :class:`~repro.runner.backends.SerialBackend` and
   :class:`~repro.runner.backends.ProcessPoolBackend` — bit-identical
   results, the latter fanning jobs out over worker processes.

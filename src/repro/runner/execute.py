@@ -4,7 +4,9 @@ Must stay a top-level module function so
 :class:`~repro.runner.backends.ProcessPoolBackend` can pickle a
 reference to it; the job itself carries only declarative state, and the
 traces/predictors are rebuilt deterministically here (hitting each
-worker process's own trace cache across jobs).
+worker process's own trace cache across jobs).  Workload names resolve
+through :func:`repro.workloads.suite.make_trace`, so a job may name a
+catalogue workload or an external trace file.
 """
 
 from __future__ import annotations

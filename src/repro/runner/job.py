@@ -12,11 +12,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dram.config import DRAMConfig
 from repro.sim.config import SystemConfig
+from repro.workloads.formats.base import TRACE_FORMAT_VERSION
 
 #: Bump when the job schema or simulation semantics change incompatibly,
 #: so stale on-disk cache entries stop matching.
@@ -78,11 +80,48 @@ class SimJob:
             object.__setattr__(self, "workload", tuple(self.workload))
 
     def key(self) -> str:
-        """A stable content hash of this job (on-disk cache key)."""
-        payload = {"schema": JOB_SCHEMA_VERSION, "job": _canonical(self)}
+        """A stable content hash of this job (on-disk cache key).
+
+        Besides the job spec itself the payload carries the job schema
+        version and the trace-format version, so results computed from
+        traces decoded under an older record layout can never alias a
+        newer run: workloads may name converted external trace files
+        (see :func:`repro.workloads.suite.make_trace`), and a format
+        bump changes what those files decode to.  For file workloads the
+        file's identity (size + mtime) is folded in as well, so
+        overwriting a trace file invalidates its cached results.
+        """
+        payload = {"schema": JOB_SCHEMA_VERSION,
+                   "trace_format": TRACE_FORMAT_VERSION,
+                   "traces": _workload_fingerprint(self.workload),
+                   "job": _canonical(self)}
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode())
         return digest.hexdigest()
+
+
+def _workload_fingerprint(workload: Union[str, Tuple[str, ...]]) -> List[Any]:
+    """File identity (size, mtime) of every trace-file workload name.
+
+    Catalogue workload names contribute nothing (the name in the job
+    spec already identifies them); file paths contribute their stat
+    identity so a rewritten file cannot be served stale results from
+    the on-disk cache.  A missing file contributes a sentinel — the job
+    will fail at execution time with a clear error anyway.
+    """
+    from repro.workloads.formats import is_trace_path
+    names = (workload,) if isinstance(workload, str) else workload
+    fingerprint: List[Any] = []
+    for name in names:
+        if not is_trace_path(name):
+            continue
+        try:
+            stat = os.stat(name)
+        except OSError:
+            fingerprint.append([name, "missing"])
+        else:
+            fingerprint.append([name, stat.st_size, stat.st_mtime_ns])
+    return fingerprint
 
 
 def _canonical(value: Any) -> Any:

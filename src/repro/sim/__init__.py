@@ -2,13 +2,23 @@
 
 Ties the substrates together: build a system from a
 :class:`~repro.sim.config.SystemConfig`, run a workload trace through it,
-and collect a :class:`~repro.sim.results.SimulationResult`.  Single-core
-and multi-core (shared LLC + memory controller) drivers are provided.
+and collect a :class:`~repro.sim.results.SimulationResult`.  Three
+drivers are provided: single-core over an in-memory trace
+(:func:`~repro.sim.simulator.simulate_trace`), single-core over a
+:class:`~repro.workloads.trace.StreamingTrace` in bounded memory
+(:func:`~repro.sim.simulator.simulate_stream`, bit-identical stats),
+and multi-core with a shared LLC + memory controller
+(:func:`~repro.sim.multicore.simulate_multicore`).
 """
 
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import build_system, simulate_trace, simulate_suite
+from repro.sim.simulator import (
+    build_system,
+    simulate_stream,
+    simulate_suite,
+    simulate_trace,
+)
 from repro.sim.multicore import MultiCoreResult, simulate_multicore
 
 __all__ = [
@@ -16,6 +26,7 @@ __all__ = [
     "SimulationResult",
     "build_system",
     "simulate_trace",
+    "simulate_stream",
     "simulate_suite",
     "MultiCoreResult",
     "simulate_multicore",

@@ -1,9 +1,20 @@
-"""Single-core simulation driver."""
+"""Single-core simulation drivers.
+
+:func:`simulate_trace` runs an in-memory :class:`Trace`;
+:func:`simulate_stream` runs a :class:`StreamingTrace` (typically a
+file-backed external trace from :mod:`repro.workloads.formats`) in
+bounded chunks so arbitrarily long traces execute under O(1) memory.
+Both share :func:`build_system` and produce identical statistics for the
+same access sequence, warmup split, and configuration — the streaming
+path feeds the same inlined :meth:`OutOfOrderCore.run_span` hot loop,
+one chunk at a time.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.hermes import HermesEngine, HermesStats
 from repro.cpu.core import CoreStats, OutOfOrderCore
@@ -15,7 +26,7 @@ from repro.offchip.ideal import IdealPredictor
 from repro.prefetchers.factory import make_prefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
-from repro.workloads.trace import Trace
+from repro.workloads.trace import StreamingTrace, Trace
 
 
 @dataclass
@@ -99,6 +110,85 @@ def simulate_trace(config: SystemConfig, trace: Trace,
     return _collect(system, trace, core_stats)
 
 
+#: Chunk size (accesses) of the streaming driver's read-ahead buffer;
+#: peak extra memory is roughly ``STREAM_CHUNK_SIZE`` MemoryAccess
+#: records regardless of trace length.
+STREAM_CHUNK_SIZE = 65536
+
+
+def simulate_stream(config: SystemConfig,
+                    stream: Union[StreamingTrace, Trace],
+                    predictor: Optional[OffChipPredictor] = None,
+                    max_accesses: Optional[int] = None,
+                    chunk_size: int = STREAM_CHUNK_SIZE) -> SimulationResult:
+    """Run a streaming trace under bounded memory.
+
+    Statistics are bit-identical to :func:`simulate_trace` on the same
+    access sequence: the warmup/measure split uses the stream's declared
+    ``length`` (trace-file headers carry it) and the chunked
+    :meth:`~repro.cpu.core.OutOfOrderCore.run_span` calls are
+    semantically equivalent to one span over the whole list.  When the
+    length is unknown (a pipe, or a trace header without a ``count``)
+    the warmup phase is skipped, since ``config.warmup_fraction`` of an
+    unknown total is undefined — a ``UserWarning`` flags the resulting
+    stats divergence from an in-memory run (traces written by
+    :mod:`repro.workloads.formats` always declare their length).
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    system = build_system(config, predictor=predictor)
+    length = stream.length if isinstance(stream, StreamingTrace) else len(stream)
+    if length is None and config.warmup_fraction > 0:
+        import warnings
+        warnings.warn(
+            f"stream {stream.name!r} does not declare its length; skipping "
+            f"the warmup phase (warmup_fraction={config.warmup_fraction}) — "
+            f"statistics will include cold-start effects an in-memory run "
+            f"would discard", UserWarning, stacklevel=2)
+    if length is not None and max_accesses is not None:
+        length = min(length, max_accesses)
+    warmup_count = int(length * config.warmup_fraction) if length else 0
+
+    core = system.core
+    core.begin()
+    source = iter(stream)
+    if max_accesses is not None:
+        source = islice(source, max_accesses)
+    position = 0
+    measuring = warmup_count == 0
+    while True:
+        chunk = list(islice(source, chunk_size))
+        if not chunk:
+            break
+        start = 0
+        if not measuring:
+            boundary = warmup_count - position
+            if boundary >= len(chunk):
+                core.run_span(chunk, 0, len(chunk))
+                position += len(chunk)
+                continue
+            if boundary:
+                core.run_span(chunk, 0, boundary)
+            # Keep microarchitectural state, discard warmup statistics
+            # (mirrors simulate_trace's split).
+            system.reset_stats()
+            core.stats = CoreStats()
+            measuring = True
+            start = boundary
+        core.run_span(chunk, start, len(chunk))
+        position += len(chunk)
+    if not measuring:
+        # The source ended inside the warmup phase: its declared length
+        # overstated the actual record count (e.g. a truncated file), so
+        # the measured statistics would silently include warmup.  Refuse.
+        raise ValueError(
+            f"stream {stream.name!r} ended after {position} accesses, inside "
+            f"the {warmup_count}-access warmup derived from its declared "
+            f"length {length}; the trace is shorter than its header claims")
+    core_stats = core.finalize()
+    return _collect(system, stream, core_stats)
+
+
 def simulate_suite(config: SystemConfig, traces: Sequence[Trace],
                    max_accesses: Optional[int] = None) -> List[SimulationResult]:
     """Run a list of traces through (fresh copies of) the same configuration."""
@@ -106,7 +196,8 @@ def simulate_suite(config: SystemConfig, traces: Sequence[Trace],
             for trace in traces]
 
 
-def _collect(system: System, trace: Trace, core_stats: CoreStats) -> SimulationResult:
+def _collect(system: System, trace: Union[Trace, StreamingTrace],
+             core_stats: CoreStats) -> SimulationResult:
     predictor_stats: Dict[str, float] = {}
     if system.predictor is not None:
         predictor_stats = system.predictor.stats.as_dict()

@@ -1,20 +1,32 @@
-"""Synthetic workload traces.
+"""Workload traces: synthetic generators plus trace-file ingestion.
 
 The paper evaluates Hermes on 110 single-core traces from SPEC CPU2006,
 SPEC CPU2017, PARSEC, Ligra and CVP.  Those traces are not redistributable
 and are far too long (500M instructions) for a Python timing model, so
 this package provides *synthetic trace generators* that reproduce the
 memory-access-pattern classes those suites exhibit — streaming, strided,
-pointer-chasing, graph-analytics hybrid, hot/cold irregular and
-server-style access mixes — with the program-context correlations POPET
-learns from (per-PC miss behaviour, cacheline-offset structure,
-first-access locality).  See DESIGN.md for the substitution rationale.
+pointer-chasing, graph-analytics hybrid, hot/cold irregular,
+server-style, phase-changing, multi-tenant and bursty access mixes —
+with the program-context correlations POPET learns from (per-PC miss
+behaviour, cacheline-offset structure, first-access locality).  See
+DESIGN.md (and README.md) for the substitution rationale.
+
+External traces enter through :mod:`repro.workloads.formats` (CSV/JSONL/
+binary interchange, gzip-capable): :func:`make_trace` accepts a trace
+file path anywhere a catalogue name is accepted, and
+:class:`StreamingTrace` feeds :func:`repro.sim.simulator.simulate_stream`
+so multi-hundred-million-access traces run under bounded memory.  The
+``python -m repro trace`` CLI generates, converts and inspects trace
+files from the shell.
 """
 
-from repro.workloads.trace import MemoryAccess, Trace
+from repro.workloads.trace import MemoryAccess, StreamingTrace, Trace
 from repro.workloads.generators import (
+    BurstyServerWorkload,
     GraphAnalyticsWorkload,
     MixedIrregularWorkload,
+    MultiTenantWorkload,
+    PhaseChangingWorkload,
     PointerChaseWorkload,
     ServerWorkload,
     StreamingWorkload,
@@ -38,6 +50,7 @@ from repro.workloads.suite import (
 __all__ = [
     "MemoryAccess",
     "Trace",
+    "StreamingTrace",
     "SyntheticWorkload",
     "StreamingWorkload",
     "StridedWorkload",
@@ -45,6 +58,9 @@ __all__ = [
     "GraphAnalyticsWorkload",
     "MixedIrregularWorkload",
     "ServerWorkload",
+    "PhaseChangingWorkload",
+    "MultiTenantWorkload",
+    "BurstyServerWorkload",
     "CATEGORIES",
     "WorkloadSpec",
     "TraceCache",

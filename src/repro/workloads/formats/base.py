@@ -1,0 +1,205 @@
+"""Trace interchange format plumbing: headers, the format ABC, file helpers.
+
+Every on-disk trace carries a small metadata header (:class:`TraceHeader`)
+followed by one record per memory access.  Formats implement
+:class:`TraceFormat`; concrete implementations live in
+:mod:`repro.workloads.formats.text` (CSV, JSONL) and
+:mod:`repro.workloads.formats.binary` (packed binary), and register
+themselves with the format registry in
+:mod:`repro.workloads.formats`.
+
+All formats are gzip-capable: a path ending in ``.gz`` is transparently
+(de)compressed, and binary readers also sniff the gzip magic so a
+mis-named compressed file still opens.  The text formats additionally
+accept ``"-"`` for stdin/stdout so traces can be piped between
+``python -m repro trace generate`` and ``python -m repro run --trace -``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import sys
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.workloads.trace import MemoryAccess, Trace
+
+#: Version of the on-disk trace record schema.  Bump on any incompatible
+#: change to the header or record layout; the value is also folded into
+#: :meth:`repro.runner.job.SimJob.key` so result-cache entries computed
+#: from traces in an older format can never alias newer runs.
+TRACE_FORMAT_VERSION = 1
+
+#: Sentinel path meaning stdin (read) / stdout (write) for text formats.
+STDIO_PATH = "-"
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class TraceHeader:
+    """Metadata carried at the head of every serialised trace."""
+
+    name: str = "trace"
+    category: str = "EXT"
+    count: Optional[int] = None
+    version: int = TRACE_FORMAT_VERSION
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "category": self.category,
+                "count": self.count, "version": self.version}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceHeader":
+        version = int(data.get("version", TRACE_FORMAT_VERSION))
+        if version > TRACE_FORMAT_VERSION:
+            # Record layouts are only guaranteed backwards-compatible:
+            # decoding a newer layout with this reader would silently
+            # produce garbage accesses, so refuse loudly instead.
+            raise ValueError(
+                f"trace was written by format version {version}, but this "
+                f"reader supports up to version {TRACE_FORMAT_VERSION}; "
+                f"upgrade the package or re-export the trace")
+        return cls(name=str(data.get("name", "trace")),
+                   category=str(data.get("category", "EXT")),
+                   count=data.get("count"),
+                   version=version)
+
+    @classmethod
+    def for_trace(cls, trace: Trace) -> "TraceHeader":
+        return cls(name=trace.name, category=trace.category,
+                   count=len(trace))
+
+
+class TraceFormat(ABC):
+    """One trace serialisation: a name, extensions, a writer and readers.
+
+    Concrete formats are stateless; one instance serves any number of
+    files.  ``stream`` is the primitive — ``read`` just materialises it —
+    so every format supports bounded-memory ingestion of arbitrarily
+    long traces.
+    """
+
+    #: Registry name (``csv``, ``jsonl``, ``bin``).
+    name: str = ""
+    #: Filename extensions (without ``.gz``) this format claims.
+    extensions: Tuple[str, ...] = ()
+    #: Whether the format is line-oriented text (and therefore pipeable).
+    is_text: bool = True
+
+    @abstractmethod
+    def write(self, accesses: Iterable[MemoryAccess], header: TraceHeader,
+              path: PathLike) -> None:
+        """Serialise ``accesses`` under ``header`` to ``path``."""
+
+    @abstractmethod
+    def read_header(self, path: PathLike) -> TraceHeader:
+        """Read only the metadata header of ``path``."""
+
+    @abstractmethod
+    def open_stream(self, path: PathLike
+                    ) -> Tuple[TraceHeader, Iterator[MemoryAccess]]:
+        """Open ``path`` once, returning its header and a record iterator.
+
+        The single-pass primitive: the iterator yields accesses in O(1)
+        memory and closes the underlying file when exhausted (or when
+        ``close()`` is called on it).  Works on non-seekable inputs such
+        as pipes.
+        """
+
+    def stream(self, path: PathLike) -> Iterator[MemoryAccess]:
+        """Yield the accesses of ``path`` one at a time (O(1) memory)."""
+        return self.open_stream(path)[1]
+
+    def read(self, path: PathLike) -> Trace:
+        """Materialise ``path`` as an in-memory :class:`Trace`."""
+        header, records = self.open_stream(path)
+        trace = Trace(name=header.name, category=header.category)
+        trace.accesses.extend(records)
+        return trace
+
+
+def is_gzip_path(path: PathLike) -> bool:
+    """Whether ``path`` names a gzip-compressed file (``.gz`` suffix)."""
+    return str(path).endswith(".gz")
+
+
+def strip_gzip_suffix(path: PathLike) -> str:
+    """``trace.csv.gz`` -> ``trace.csv`` (for extension-based detection)."""
+    text = str(path)
+    return text[:-3] if text.endswith(".gz") else text
+
+
+class _StdioTextWrapper(io.TextIOWrapper):
+    """A text wrapper over stdio whose ``close`` leaves the stream open."""
+
+    def close(self) -> None:  # noqa: D102 - behavioural override
+        try:
+            self.flush()
+        finally:
+            try:
+                self.detach()
+            except ValueError:
+                pass
+
+
+def open_text(path: PathLike, mode: str) -> IO[str]:
+    """Open a text trace file, handling ``-`` (stdio) and ``.gz``.
+
+    ``mode`` is ``"r"`` or ``"w"``.  Closing the returned handle never
+    closes the real stdio streams.
+    """
+    if mode not in ("r", "w"):
+        raise ValueError(f"unsupported mode {mode!r}")
+    if str(path) == STDIO_PATH:
+        stream = sys.stdin if mode == "r" else sys.stdout
+        return _StdioTextWrapper(stream.buffer, encoding="utf-8",
+                                 write_through=True)
+    if is_gzip_path(path):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+class _OwningGzipReader(gzip.GzipFile):
+    """A GzipFile whose ``close`` also closes the raw file it wraps.
+
+    ``gzip.GzipFile(fileobj=...)`` deliberately leaves the underlying
+    file open on close; the sniffing read path below owns the raw
+    handle, so it must be closed along with the decompressor.
+    """
+
+    def __init__(self, raw: IO[bytes]) -> None:
+        super().__init__(fileobj=raw, mode="rb")
+        self._raw = raw
+
+    def close(self) -> None:  # noqa: D102 - behavioural override
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
+def open_binary(path: PathLike, mode: str) -> IO[bytes]:
+    """Open a binary trace file, handling ``.gz`` and gzip-magic sniffing."""
+    if mode not in ("rb", "wb"):
+        raise ValueError(f"unsupported mode {mode!r}")
+    if str(path) == STDIO_PATH:
+        raise ValueError("the binary trace format does not support stdio; "
+                         "write to a file or use csv/jsonl for piping")
+    if mode == "wb":
+        if is_gzip_path(path):
+            return gzip.open(path, "wb")
+        return open(path, "wb")
+    handle = open(path, "rb")
+    try:
+        magic = handle.read(2)
+        handle.seek(0)
+    except BaseException:
+        handle.close()
+        raise
+    if magic == b"\x1f\x8b":
+        return _OwningGzipReader(handle)  # type: ignore[return-value]
+    return handle

@@ -1,0 +1,170 @@
+"""Line-oriented trace formats: CSV and JSONL.
+
+Both start with a one-line JSON metadata header and then carry one
+memory access per line, so they stream trivially, diff cleanly, and can
+be produced or consumed by awk/jq/pandas as an interchange format with
+other simulators.  Both are gzip-capable (``.gz`` suffix) and pipeable
+(``-`` reads stdin / writes stdout).
+
+CSV layout::
+
+    #repro-trace {"name": ..., "category": ..., "count": N, "version": 1}
+    pc,address,is_load,nonmem_before,depends_on_previous_load
+    4194304,268435456,1,6,0
+    ...
+
+JSONL layout (compact keys to keep long traces small)::
+
+    {"repro_trace": {"name": ..., "category": ..., "count": N, "version": 1}}
+    {"pc": 4194304, "addr": 268435456, "load": 1, "nm": 6, "dep": 0}
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, Tuple
+
+from repro.workloads.formats.base import (
+    PathLike,
+    TraceFormat,
+    TraceHeader,
+    open_text,
+)
+from repro.workloads.trace import MemoryAccess
+
+#: Magic prefix of the CSV header comment line.
+CSV_MAGIC = "#repro-trace "
+#: Column order of the CSV body (also written as a literal header row).
+CSV_COLUMNS = "pc,address,is_load,nonmem_before,depends_on_previous_load"
+
+
+class CSVTraceFormat(TraceFormat):
+    """Comma-separated interchange format (``.csv`` / ``.csv.gz``)."""
+
+    name = "csv"
+    extensions = (".csv",)
+    is_text = True
+
+    def write(self, accesses: Iterable[MemoryAccess], header: TraceHeader,
+              path: PathLike) -> None:
+        handle = open_text(path, "w")
+        try:
+            handle.write(CSV_MAGIC + json.dumps(header.to_dict(),
+                                                sort_keys=True) + "\n")
+            handle.write(CSV_COLUMNS + "\n")
+            for access in accesses:
+                handle.write(f"{access.pc},{access.address},"
+                             f"{int(access.is_load)},{access.nonmem_before},"
+                             f"{int(access.depends_on_previous_load)}\n")
+        finally:
+            handle.close()
+
+    def read_header(self, path: PathLike) -> TraceHeader:
+        handle = open_text(path, "r")
+        try:
+            return _parse_csv_header(handle)
+        finally:
+            handle.close()
+
+    def open_stream(self, path: PathLike
+                    ) -> Tuple[TraceHeader, Iterator[MemoryAccess]]:
+        handle = open_text(path, "r")
+        try:
+            header = _parse_csv_header(handle)
+        except BaseException:
+            handle.close()
+            raise
+        return header, _iter_csv_body(handle)
+
+
+def _parse_csv_header(handle: IO[str]) -> TraceHeader:
+    first = handle.readline()
+    if not first.startswith(CSV_MAGIC):
+        raise ValueError(
+            f"not a repro CSV trace (missing {CSV_MAGIC!r} header line)")
+    return TraceHeader.from_dict(json.loads(first[len(CSV_MAGIC):]))
+
+
+def _iter_csv_body(handle: IO[str]) -> Iterator[MemoryAccess]:
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#") or line == CSV_COLUMNS:
+                continue
+            pc, address, is_load, nonmem, dep = line.split(",")
+            yield MemoryAccess(pc=int(pc), address=int(address),
+                               is_load=bool(int(is_load)),
+                               nonmem_before=int(nonmem),
+                               depends_on_previous_load=bool(int(dep)))
+    finally:
+        handle.close()
+
+
+class JSONLTraceFormat(TraceFormat):
+    """JSON-lines interchange format (``.jsonl`` / ``.jsonl.gz``)."""
+
+    name = "jsonl"
+    extensions = (".jsonl", ".ndjson")
+    is_text = True
+
+    def write(self, accesses: Iterable[MemoryAccess], header: TraceHeader,
+              path: PathLike) -> None:
+        handle = open_text(path, "w")
+        try:
+            handle.write(json.dumps({"repro_trace": header.to_dict()},
+                                    sort_keys=True) + "\n")
+            for access in accesses:
+                record = {"pc": access.pc, "addr": access.address,
+                          "load": int(access.is_load),
+                          "nm": access.nonmem_before,
+                          "dep": int(access.depends_on_previous_load)}
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        finally:
+            handle.close()
+
+    def read_header(self, path: PathLike) -> TraceHeader:
+        handle = open_text(path, "r")
+        try:
+            return _parse_jsonl_header(handle)
+        finally:
+            handle.close()
+
+    def open_stream(self, path: PathLike
+                    ) -> Tuple[TraceHeader, Iterator[MemoryAccess]]:
+        handle = open_text(path, "r")
+        try:
+            header = _parse_jsonl_header(handle)
+        except BaseException:
+            handle.close()
+            raise
+        return header, _iter_jsonl_body(handle)
+
+
+def _iter_jsonl_body(handle: IO[str]) -> Iterator[MemoryAccess]:
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            yield MemoryAccess(pc=int(record["pc"]),
+                               address=int(record["addr"]),
+                               is_load=bool(record.get("load", 1)),
+                               nonmem_before=int(record.get("nm", 0)),
+                               depends_on_previous_load=bool(
+                                   record.get("dep", 0)))
+    finally:
+        handle.close()
+
+
+def _parse_jsonl_header(handle: IO[str]) -> TraceHeader:
+    first = handle.readline()
+    try:
+        data = json.loads(first)
+        meta = data["repro_trace"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(
+            "not a repro JSONL trace (first line must be a "
+            '{"repro_trace": {...}} header)') from exc
+    return TraceHeader.from_dict(meta)

@@ -20,6 +20,15 @@ paper's workload categories:
   hot set and cold random accesses, partitioned by PC.
 * :class:`ServerWorkload` — CVP-like: many static loads, large code
   footprint, bursty accesses with strong within-burst line reuse.
+* :class:`PhaseChangingWorkload` — alternates whole program phases
+  (streaming, strided, pointer-chase) every few thousand accesses, the
+  regime where POPET's online re-training matters most.
+* :class:`MultiTenantWorkload` — several interleaved tenants whose hot
+  sets thrash each other in the shared hierarchy (consolidated-server
+  interference).
+* :class:`BurstyServerWorkload` — ON/OFF request bursts separated by
+  long compute-only gaps, with heavy within-burst reuse and a long-tail
+  of cold random accesses.
 
 The generators are calibrated so that, in the no-prefetching baseline
 system, LLC MPKI lands in the single-digit-to-low-tens range the paper's
@@ -351,4 +360,201 @@ class ServerWorkload(SyntheticWorkload):
                     address=self._addr(offset),
                     is_load=not is_store,
                     nonmem_before=self.nonmem_per_access))
+                count += 1
+
+
+class PhaseChangingWorkload(SyntheticWorkload):
+    """Program phases that alternate between unrelated access patterns.
+
+    Each phase lasts ``phase_length`` accesses and is one of: a
+    sequential stream, a short-stride sweep, or a dependent random chase
+    over the full footprint.  Every phase draws fresh PCs from its own
+    PC range, so a predictor trained on one phase sees genuinely new
+    static loads in the next — the adaptation stress the paper's
+    longest-running traces exhibit at phase boundaries.
+    """
+
+    category = "SPEC17"
+
+    def __init__(self, name: str, seed: int = 7, phase_length: int = 3000,
+                 footprint_mb: int = 96, stride_bytes: int = 24,
+                 hot_probability: float = 0.8,
+                 nonmem_per_access: int = 7) -> None:
+        super().__init__(name, seed)
+        if phase_length <= 0:
+            raise ValueError("phase_length must be positive")
+        self.phase_length = phase_length
+        self.footprint_bytes = footprint_mb * MB
+        self.stride_bytes = stride_bytes
+        self.hot_probability = hot_probability
+        self.nonmem_per_access = nonmem_per_access
+
+    def _fill(self, trace: Trace, num_accesses: int, rng: random.Random) -> None:
+        num_blocks = self.footprint_bytes // BLOCK_SIZE
+        hot_blocks = max(1, (96 * KB) // BLOCK_SIZE)
+        count = 0
+        phase_index = 0
+        while count < num_accesses:
+            kind = phase_index % 3
+            pc_base = (phase_index % 8) * 16
+            cursor = rng.randrange(num_blocks) * BLOCK_SIZE
+            stride = self.stride_bytes * rng.choice([1, 2, 4])
+            remaining = min(self.phase_length, num_accesses - count)
+            for step in range(remaining):
+                if kind == 0:
+                    # Streaming phase: one sequential cursor, element walk.
+                    cursor = (cursor + 8) % self.footprint_bytes
+                    trace.accesses.append(MemoryAccess(
+                        pc=self._pc(pc_base),
+                        address=self._addr(cursor),
+                        is_load=True,
+                        nonmem_before=self.nonmem_per_access))
+                elif kind == 1:
+                    # Strided phase: stencil-like short-stride sweep.
+                    cursor = (cursor + stride) % self.footprint_bytes
+                    trace.accesses.append(MemoryAccess(
+                        pc=self._pc(pc_base + step % 4),
+                        address=self._addr(cursor),
+                        is_load=True,
+                        nonmem_before=self.nonmem_per_access))
+                else:
+                    # Chase phase: hot/cold dependent random traversal.
+                    hot = rng.random() < self.hot_probability
+                    block = rng.randrange(hot_blocks if hot else num_blocks)
+                    trace.accesses.append(MemoryAccess(
+                        pc=self._pc(pc_base + (8 if hot else step % 4)),
+                        address=self._addr(block * BLOCK_SIZE
+                                           + rng.randrange(0, 8) * 8),
+                        is_load=True,
+                        nonmem_before=self.nonmem_per_access,
+                        depends_on_previous_load=(not hot and step > 0)))
+                count += 1
+            phase_index += 1
+
+
+class MultiTenantWorkload(SyntheticWorkload):
+    """Round-robin tenants whose working sets interfere in the shared caches.
+
+    Each tenant owns a private region with its own hot set and static
+    load PCs; the generator switches tenant every ``quantum`` accesses
+    (a scheduling quantum).  With enough tenants the combined hot
+    footprint exceeds the LLC, so each tenant's return to the CPU finds
+    its lines partially evicted — the consolidation-interference regime
+    that makes off-chip prediction valuable on servers.
+    """
+
+    category = "PARSEC"
+
+    def __init__(self, name: str, seed: int = 8, num_tenants: int = 4,
+                 quantum: int = 96, hot_set_kb: int = 384,
+                 blocks_per_quantum: int = 12,
+                 tenant_footprint_mb: int = 32,
+                 cold_probability: float = 0.08,
+                 nonmem_per_access: int = 7,
+                 store_fraction: float = 0.12) -> None:
+        super().__init__(name, seed)
+        if num_tenants <= 0 or quantum <= 0:
+            raise ValueError("num_tenants and quantum must be positive")
+        self.num_tenants = num_tenants
+        self.quantum = quantum
+        self.hot_set_bytes = hot_set_kb * KB
+        self.blocks_per_quantum = blocks_per_quantum
+        self.tenant_footprint_bytes = tenant_footprint_mb * MB
+        self.cold_probability = cold_probability
+        self.nonmem_per_access = nonmem_per_access
+        self.store_fraction = store_fraction
+
+    def _fill(self, trace: Trace, num_accesses: int, rng: random.Random) -> None:
+        hot_blocks = max(1, self.hot_set_bytes // BLOCK_SIZE)
+        tenant_blocks = self.tenant_footprint_bytes // BLOCK_SIZE
+        count = 0
+        tenant = 0
+        while count < num_accesses:
+            base = tenant * self.tenant_footprint_bytes
+            pc_base = tenant * 24
+            # The quantum works on a small slice of the tenant's hot set
+            # (request state): strong reuse while scheduled, but by the
+            # time the tenant runs again other tenants have pushed these
+            # lines down the shared hierarchy.
+            quantum_blocks = [rng.randrange(hot_blocks)
+                              for _ in range(self.blocks_per_quantum)]
+            for _ in range(min(self.quantum, num_accesses - count)):
+                cold = rng.random() < self.cold_probability
+                if cold:
+                    block = rng.randrange(tenant_blocks)
+                    pc = self._pc(pc_base + 16 + block % 4)
+                else:
+                    block = rng.choice(quantum_blocks)
+                    pc = self._pc(pc_base + block % 12)
+                is_store = (not cold) and rng.random() < self.store_fraction
+                trace.accesses.append(MemoryAccess(
+                    pc=pc,
+                    address=self._addr(base + block * BLOCK_SIZE
+                                       + rng.randrange(0, 8) * 8),
+                    is_load=not is_store,
+                    nonmem_before=self.nonmem_per_access))
+                count += 1
+            tenant = (tenant + 1) % self.num_tenants
+
+
+class BurstyServerWorkload(SyntheticWorkload):
+    """ON/OFF server load: request bursts separated by compute-only gaps.
+
+    During a burst, a handful of request-handler PCs hammer a few lines
+    of one page (strong reuse, the occasional first-touch miss); between
+    bursts the core runs a long non-memory gap (modelled as a large
+    ``nonmem_before`` on the next access), after which much of the
+    request state has aged out of the small caches.
+    """
+
+    category = "CVP"
+
+    def __init__(self, name: str, seed: int = 9, burst_length: int = 48,
+                 lines_per_burst: int = 4, idle_nonmem: int = 400,
+                 footprint_mb: int = 64, num_load_pcs: int = 160,
+                 random_access_probability: float = 0.1,
+                 nonmem_per_access: int = 5,
+                 store_fraction: float = 0.18) -> None:
+        super().__init__(name, seed)
+        if burst_length <= 0:
+            raise ValueError("burst_length must be positive")
+        self.burst_length = burst_length
+        self.lines_per_burst = lines_per_burst
+        self.idle_nonmem = idle_nonmem
+        self.footprint_bytes = footprint_mb * MB
+        self.num_load_pcs = num_load_pcs
+        self.random_access_probability = random_access_probability
+        self.nonmem_per_access = nonmem_per_access
+        self.store_fraction = store_fraction
+
+    def _fill(self, trace: Trace, num_accesses: int, rng: random.Random) -> None:
+        num_pages = self.footprint_bytes // PAGE_SIZE
+        lines_in_page = PAGE_SIZE // BLOCK_SIZE
+        count = 0
+        while count < num_accesses:
+            page = rng.randrange(num_pages)
+            pc_index = rng.randrange(self.num_load_pcs)
+            burst_lines = [rng.randrange(lines_in_page)
+                           for _ in range(self.lines_per_burst)]
+            first = True
+            for _ in range(min(self.burst_length, num_accesses - count)):
+                if rng.random() < self.random_access_probability:
+                    target_page = rng.randrange(num_pages)
+                    line = rng.randrange(lines_in_page)
+                    pc = self._pc(768 + pc_index % 8)
+                else:
+                    target_page = page
+                    line = rng.choice(burst_lines)
+                    pc = self._pc(pc_index)
+                offset = (target_page * PAGE_SIZE + line * BLOCK_SIZE
+                          + rng.randrange(8) * 8)
+                is_store = rng.random() < self.store_fraction
+                trace.accesses.append(MemoryAccess(
+                    pc=pc,
+                    address=self._addr(offset),
+                    is_load=not is_store,
+                    # The burst's first access absorbs the idle gap.
+                    nonmem_before=(self.idle_nonmem if first
+                                   else self.nonmem_per_access)))
+                first = False
                 count += 1

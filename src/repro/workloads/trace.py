@@ -1,4 +1,5 @@
-"""Memory-access trace format.
+"""Memory-access trace containers: in-memory :class:`Trace` and
+bounded-memory :class:`StreamingTrace`.
 
 A trace is a sequence of :class:`MemoryAccess` records, each describing
 one memory instruction plus the number of non-memory instructions that
@@ -9,12 +10,21 @@ ROB occupancy without materialising every ALU instruction).
 data of the previous load (pointer chasing); the core model serialises
 those, which is what gives graph and mcf-like workloads their low memory-
 level parallelism in the paper.
+
+:class:`Trace` holds every record in memory, which is what the synthetic
+generators produce and what most experiments use.  :class:`StreamingTrace`
+carries the same metadata but re-opens an iterator per pass, so external
+multi-hundred-million-access traces ingested through
+:mod:`repro.workloads.formats` can drive
+:func:`repro.sim.simulator.simulate_stream` under O(1) memory.
+Serialisation to/from the interchange formats hangs off
+:meth:`Trace.to_file` / :meth:`Trace.from_file`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(slots=True)
@@ -94,3 +104,70 @@ class Trace:
             raise ValueError("max_accesses must be non-negative")
         return Trace(name=self.name, category=self.category,
                      accesses=self.accesses[:max_accesses])
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (delegates to repro.workloads.formats)
+    # ------------------------------------------------------------------ #
+
+    def to_file(self, path, fmt: Optional[str] = None) -> None:
+        """Serialise this trace to ``path``.
+
+        ``fmt`` names a registered trace format (``csv``, ``jsonl``,
+        ``bin``); when omitted it is inferred from the extension.
+        """
+        from repro.workloads.formats import write_trace
+        write_trace(self, path, fmt)
+
+    @classmethod
+    def from_file(cls, path, fmt: Optional[str] = None) -> "Trace":
+        """Materialise the trace stored at ``path``."""
+        from repro.workloads.formats import read_trace
+        return read_trace(path, fmt)
+
+
+class StreamingTrace:
+    """A trace iterated from a source instead of a list (O(1) memory).
+
+    Carries the same identity metadata as :class:`Trace` (``name``,
+    ``category``) plus an optional declared ``length`` (needed for the
+    warmup/measure split of :func:`repro.sim.simulator.simulate_stream`
+    to match an in-memory run exactly; trace-file headers record it).
+    ``opener`` returns a fresh access iterator per call, so file-backed
+    streams support repeated passes; one-shot sources (pipes) raise on
+    the second iteration.
+    """
+
+    __slots__ = ("name", "category", "opener", "length")
+
+    def __init__(self, name: str, category: str,
+                 opener: Callable[[], Iterator[MemoryAccess]],
+                 length: Optional[int] = None) -> None:
+        self.name = name
+        self.category = category
+        self.opener = opener
+        self.length = length
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.opener())
+
+    @classmethod
+    def from_file(cls, path, fmt: Optional[str] = None) -> "StreamingTrace":
+        """A streaming view of the trace stored at ``path``."""
+        from repro.workloads.formats import stream_trace
+        return stream_trace(path, fmt)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "StreamingTrace":
+        """Wrap an in-memory trace (mainly for tests and uniform APIs)."""
+        return cls(name=trace.name, category=trace.category,
+                   opener=lambda: iter(trace.accesses), length=len(trace))
+
+    def materialised(self, max_accesses: Optional[int] = None) -> Trace:
+        """Read the stream into an in-memory :class:`Trace`."""
+        from itertools import islice
+        trace = Trace(name=self.name, category=self.category)
+        source = self.opener()
+        if max_accesses is not None:
+            source = islice(source, max_accesses)
+        trace.accesses.extend(source)
+        return trace

@@ -1,0 +1,123 @@
+"""Smoke tests of the unified ``python -m repro`` CLI via subprocess."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def run_cli(*args: str, stdin_data: bytes = b"",
+            expect_rc: int = 0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run([sys.executable, "-m", "repro", *args],
+                          input=stdin_data, capture_output=True, env=env,
+                          timeout=300)
+    assert proc.returncode == expect_rc, (
+        f"rc={proc.returncode}, stderr:\n{proc.stderr.decode()}")
+    return proc
+
+
+def test_help_screens():
+    for args in ([], ["run"], ["sweep"], ["trace"], ["trace", "generate"],
+                 ["trace", "convert"], ["trace", "inspect"], ["bench"]):
+        proc = run_cli(*args, "--help")
+        assert b"usage:" in proc.stdout.lower()
+
+
+def test_run_workload_emits_stats_json(tmp_path):
+    out = tmp_path / "stats.json"
+    run_cli("run", "--workload", "ligra.bfs", "--accesses", "1200",
+            "--predictor", "popet", "--output", str(out))
+    payload = json.loads(out.read_text())
+    assert payload["summary"]["workload"] == "ligra.bfs"
+    assert payload["summary"]["instructions"] > 0
+    assert "core" in payload["detail"]
+
+
+def test_trace_generate_convert_inspect_run(tmp_path):
+    jsonl = tmp_path / "t.jsonl.gz"
+    binary = tmp_path / "t.bin"
+    run_cli("trace", "generate", "--workload", "spec06.stencil",
+            "--accesses", "1000", "--out", str(jsonl))
+    run_cli("trace", "convert", str(jsonl), str(binary))
+
+    inspect_out = tmp_path / "inspect.json"
+    run_cli("trace", "inspect", str(binary), "--output", str(inspect_out))
+    summary = json.loads(inspect_out.read_text())
+    assert summary["memory_instructions"] == 1000
+    assert summary["header"]["name"] == "spec06.stencil"
+
+    run_out = tmp_path / "run.json"
+    run_cli("run", "--trace", str(binary), "--stream",
+            "--output", str(run_out))
+    payload = json.loads(run_out.read_text())
+    assert payload["summary"]["workload"] == "spec06.stencil"
+
+
+def test_pipe_generate_into_run_matches_api(tmp_path):
+    """`trace generate ... | run --trace -` == the in-process API."""
+    api_out = tmp_path / "api.json"
+    run_cli("run", "--workload", "ligra.bfs", "--accesses", "1000",
+            "--predictor", "popet", "--output", str(api_out))
+
+    generated = run_cli("trace", "generate", "--workload", "ligra.bfs",
+                        "--accesses", "1000").stdout
+    pipe_out = tmp_path / "pipe.json"
+    run_cli("run", "--trace", "-", "--predictor", "popet",
+            "--output", str(pipe_out), stdin_data=generated)
+
+    assert json.loads(api_out.read_text()) == json.loads(pipe_out.read_text())
+
+
+def test_sweep_matrix_with_cache(tmp_path):
+    out = tmp_path / "sweep.json"
+    cache = tmp_path / "cache"
+    args = ("sweep", "--workloads", "ligra.bfs,spec06.stencil",
+            "--prefetchers", "none,pythia", "--predictors", "none",
+            "--accesses", "800", "--cache-dir", str(cache),
+            "--output", str(out))
+    run_cli(*args)
+    payload = json.loads(out.read_text())
+    assert payload["jobs"] == 4
+    assert {row["config"] for row in payload["rows"]} == {"none", "pythia"}
+    cached = len(list(cache.glob("*.pkl")))
+    assert cached == 4
+    # Re-run is served from the cache and produces the same rows.
+    run_cli(*args)
+    assert json.loads(out.read_text()) == payload
+
+
+def test_sweep_figure_runner(tmp_path):
+    out = tmp_path / "fig.json"
+    run_cli("sweep", "--figure", "table3", "--output", str(out))
+    payload = json.loads(out.read_text())
+    assert payload["figure"] == "table3"
+    assert payload["result"]
+
+
+def test_unknown_workload_fails_cleanly():
+    proc = run_cli("run", "--workload", "no.such.workload", expect_rc=2)
+    assert b"unknown workload" in proc.stderr
+
+
+def test_bench_forwards_option_like_arguments():
+    """`repro bench --skip-figure ...` must reach repro.perf without a
+    `--` separator (argparse REMAINDER cannot capture leading options)."""
+    proc = run_cli("bench", "--help")
+    assert b"repro.perf" in proc.stdout
+
+
+def test_sweep_figure_rejects_matrix_flags():
+    proc = run_cli("sweep", "--figure", "table3", "--predictors", "popet",
+                   expect_rc=2)
+    assert b"only apply to ad-hoc matrices" in proc.stderr

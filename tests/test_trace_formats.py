@@ -1,0 +1,296 @@
+"""Trace-ingestion subsystem: round-tripping, streaming, discovery."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.runner.job import SimJob
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate_stream, simulate_trace
+from repro.workloads.formats import (
+    TRACE_FORMAT_VERSION,
+    TraceHeader,
+    convert_trace,
+    detect_format,
+    format_names,
+    is_trace_path,
+    make_format,
+    read_header,
+    read_trace,
+    stream_trace,
+    write_trace,
+)
+from repro.workloads.suite import clear_trace_cache, make_trace
+from repro.workloads.trace import MemoryAccess, StreamingTrace, Trace
+
+ALL_FORMATS = ("csv", "jsonl", "bin")
+
+
+@pytest.fixture(scope="module")
+def sample_trace() -> Trace:
+    return make_trace("spec06.mcf_chase", num_accesses=1500)
+
+
+def _path_for(tmp_path, fmt: str, gz: bool = False):
+    suffix = {"csv": ".csv", "jsonl": ".jsonl", "bin": ".bin"}[fmt]
+    return tmp_path / f"trace{suffix}{'.gz' if gz else ''}"
+
+
+# ---------------------------------------------------------------------- #
+# Round-tripping
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("gz", [False, True])
+def test_roundtrip_identical_accesses(tmp_path, sample_trace, fmt, gz):
+    path = _path_for(tmp_path, fmt, gz)
+    write_trace(sample_trace, path)
+    restored = read_trace(path)
+    assert restored.name == sample_trace.name
+    assert restored.category == sample_trace.category
+    assert restored.accesses == sample_trace.accesses
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_header_carries_metadata(tmp_path, sample_trace, fmt):
+    path = _path_for(tmp_path, fmt)
+    write_trace(sample_trace, path)
+    header = read_header(path)
+    assert header.name == sample_trace.name
+    assert header.category == sample_trace.category
+    assert header.count == len(sample_trace)
+    assert header.version == TRACE_FORMAT_VERSION
+
+
+@pytest.mark.parametrize("src_fmt", ALL_FORMATS)
+@pytest.mark.parametrize("dst_fmt", ALL_FORMATS)
+def test_convert_between_all_formats(tmp_path, sample_trace, src_fmt, dst_fmt):
+    src = _path_for(tmp_path, src_fmt)
+    dst = tmp_path / f"converted_{dst_fmt}{make_format(dst_fmt).extensions[0]}"
+    write_trace(sample_trace, src)
+    header = convert_trace(src, dst)
+    assert header.count == len(sample_trace)
+    assert read_trace(dst).accesses == sample_trace.accesses
+
+
+def test_gzip_files_are_actually_compressed(tmp_path, sample_trace):
+    plain = _path_for(tmp_path, "bin")
+    packed = _path_for(tmp_path, "bin", gz=True)
+    write_trace(sample_trace, plain)
+    write_trace(sample_trace, packed)
+    assert packed.stat().st_size < plain.stat().st_size
+    with gzip.open(packed) as handle:
+        assert handle.read(4) == b"RPTR"
+
+
+def test_store_and_dependence_flags_roundtrip(tmp_path):
+    trace = Trace(name="flags", category="EXT", accesses=[
+        MemoryAccess(pc=16, address=4096, is_load=True, nonmem_before=3,
+                     depends_on_previous_load=True),
+        MemoryAccess(pc=20, address=8192, is_load=False, nonmem_before=0),
+    ])
+    for fmt in ALL_FORMATS:
+        path = _path_for(tmp_path, fmt)
+        write_trace(trace, path)
+        assert read_trace(path).accesses == trace.accesses
+
+
+# ---------------------------------------------------------------------- #
+# Discovery
+# ---------------------------------------------------------------------- #
+
+def test_registry_lists_builtin_formats():
+    assert set(ALL_FORMATS) <= set(format_names())
+
+
+def test_detect_format_by_extension():
+    assert detect_format("a/b.csv") == "csv"
+    assert detect_format("a/b.csv.gz") == "csv"
+    assert detect_format("b.jsonl") == "jsonl"
+    assert detect_format("b.ndjson") == "jsonl"
+    assert detect_format("c.bin") == "bin"
+    assert detect_format("c.rptr.gz") == "bin"
+    with pytest.raises(ValueError):
+        detect_format("mystery.dat")
+
+
+def test_is_trace_path_heuristic():
+    assert is_trace_path("traces/app.csv")
+    assert is_trace_path("app.jsonl.gz")
+    assert not is_trace_path("ligra.bfs")
+    assert not is_trace_path("spec06.mcf_chase")
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bogus.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(ValueError):
+        read_trace(path)
+    text = tmp_path / "bogus.csv"
+    text.write_text("pc,address\n1,2\n")
+    with pytest.raises(ValueError):
+        read_trace(text)
+
+
+# ---------------------------------------------------------------------- #
+# Streaming
+# ---------------------------------------------------------------------- #
+
+def test_stream_trace_metadata_and_repeat_iteration(tmp_path, sample_trace):
+    path = _path_for(tmp_path, "bin")
+    write_trace(sample_trace, path)
+    stream = stream_trace(path)
+    assert isinstance(stream, StreamingTrace)
+    assert stream.name == sample_trace.name
+    assert stream.length == len(sample_trace)
+    assert list(stream) == sample_trace.accesses
+    # File-backed streams re-open per pass.
+    assert list(stream) == sample_trace.accesses
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_streaming_stats_match_in_memory(tmp_path, sample_trace, fmt):
+    """simulate_stream == simulate_trace, bit for bit, on a golden config."""
+    path = _path_for(tmp_path, fmt)
+    write_trace(sample_trace, path)
+    config = SystemConfig.with_hermes("popet", prefetcher="pythia")
+    expected = simulate_trace(config, sample_trace)
+    # A chunk size that does not divide the trace forces mid-chunk
+    # warmup-boundary handling.
+    actual = simulate_stream(config, stream_trace(path), chunk_size=277)
+    assert actual.as_dict() == expected.as_dict()
+    assert actual.core.as_dict() == expected.core.as_dict()
+    assert actual.hierarchy == expected.hierarchy
+    assert actual.memory_controller == expected.memory_controller
+    assert actual.predictor == expected.predictor
+
+
+def test_simulate_stream_accepts_in_memory_trace(sample_trace):
+    config = SystemConfig.baseline("pythia")
+    expected = simulate_trace(config, sample_trace)
+    actual = simulate_stream(config, StreamingTrace.from_trace(sample_trace))
+    assert actual.as_dict() == expected.as_dict()
+
+
+def test_simulate_stream_never_materialises_source():
+    """An endless source completes under max_accesses: the driver reads
+    chunks lazily instead of materialising the stream."""
+
+    def endless():
+        pc = 0
+        while True:
+            pc += 4
+            yield MemoryAccess(pc=0x400000 + (pc % 256), address=(pc * 64),
+                               is_load=True, nonmem_before=4)
+
+    stream = StreamingTrace(name="endless", category="EXT", opener=endless,
+                            length=None)
+    config = SystemConfig.no_prefetching()
+    # An unknown length means the warmup split cannot be computed; the
+    # driver warns and measures everything.
+    with pytest.warns(UserWarning, match="does not declare its length"):
+        result = simulate_stream(config, stream, max_accesses=2000,
+                                 chunk_size=64)
+    assert result.core.memory_instructions == 2000
+
+
+# ---------------------------------------------------------------------- #
+# Catalogue integration
+# ---------------------------------------------------------------------- #
+
+def test_make_trace_accepts_file_paths(tmp_path, sample_trace):
+    path = _path_for(tmp_path, "jsonl")
+    write_trace(sample_trace, path)
+    clear_trace_cache()
+    loaded = make_trace(str(path), num_accesses=10 ** 9)
+    assert loaded.accesses == sample_trace.accesses
+    truncated = make_trace(str(path), num_accesses=100)
+    assert len(truncated) == 100
+    # Served from the trace cache on repeat.
+    assert make_trace(str(path), num_accesses=100) is truncated
+
+
+def test_make_trace_rejects_missing_file():
+    with pytest.raises(ValueError):
+        make_trace("no/such/trace.csv", num_accesses=100)
+
+
+def test_file_workload_runs_through_jobs(tmp_path, sample_trace):
+    path = _path_for(tmp_path, "bin")
+    write_trace(sample_trace, path)
+    job = SimJob(config=SystemConfig.no_prefetching(), workload=str(path),
+                 num_accesses=500)
+    from repro.runner.execute import execute_job
+    result = execute_job(job)
+    assert result.workload == sample_trace.name
+    # 25% of the 500 simulated accesses are warmup; 375 are measured.
+    assert result.core.memory_instructions == 375
+
+
+def test_job_key_tracks_trace_file_identity(tmp_path, sample_trace):
+    """Overwriting a trace file must change the keys of jobs naming it."""
+    path = _path_for(tmp_path, "csv")
+    write_trace(sample_trace, path)
+    job = SimJob(config=SystemConfig.no_prefetching(), workload=str(path),
+                 num_accesses=100)
+    before = job.key()
+    import os
+    other = make_trace("ligra.bfs", num_accesses=1500)
+    write_trace(other, path)
+    os.utime(path, ns=(1, 1))  # force a distinct mtime even on coarse clocks
+    assert job.key() != before
+
+
+def test_simulate_stream_rejects_truncated_source(sample_trace):
+    """A stream shorter than its declared length must raise, not return
+    warmup-contaminated statistics."""
+    stream = StreamingTrace(name="short", category="EXT",
+                            opener=lambda: iter(sample_trace.accesses[:100]),
+                            length=10_000)
+    with pytest.raises(ValueError, match="shorter than its header"):
+        simulate_stream(SystemConfig.no_prefetching(), stream)
+
+
+def test_newer_format_version_rejected(tmp_path, sample_trace):
+    path = _path_for(tmp_path, "jsonl")
+    write_trace(sample_trace, path)
+    text = path.read_text().replace('"version": 1',
+                                    f'"version": {TRACE_FORMAT_VERSION + 1}')
+    path.write_text(text)
+    with pytest.raises(ValueError, match="format version"):
+        read_trace(path)
+
+
+def test_gzip_binary_read_closes_raw_handle(tmp_path, sample_trace):
+    path = _path_for(tmp_path, "bin", gz=True)
+    write_trace(sample_trace, path)
+    from repro.workloads.formats.base import open_binary
+    handle = open_binary(path, "rb")
+    raw = handle._raw
+    handle.close()
+    assert raw.closed
+
+
+def test_job_key_includes_trace_format_version(monkeypatch):
+    job = SimJob(config=SystemConfig.no_prefetching(), workload="ligra.bfs",
+                 num_accesses=100)
+    before = job.key()
+    import repro.runner.job as job_module
+    monkeypatch.setattr(job_module, "TRACE_FORMAT_VERSION",
+                        TRACE_FORMAT_VERSION + 1)
+    assert job.key() != before
+
+
+def test_trace_to_file_from_file_helpers(tmp_path, sample_trace):
+    path = tmp_path / "via_methods.csv.gz"
+    sample_trace.to_file(path)
+    assert Trace.from_file(path).accesses == sample_trace.accesses
+    assert StreamingTrace.from_file(path).length == len(sample_trace)
+
+
+def test_trace_header_defaults():
+    header = TraceHeader.from_dict({})
+    assert header.name == "trace"
+    assert header.version == TRACE_FORMAT_VERSION

@@ -163,3 +163,44 @@ def test_every_catalogue_workload_generates_valid_traces(name, length):
     for access in trace:
         assert access.nonmem_before >= 0
         assert access.address >= 0
+
+
+@pytest.mark.parametrize("name, expected_category", [
+    ("spec17.fotonik_phase", "SPEC17"),
+    ("parsec.dedup_tenants", "PARSEC"),
+    ("cvp.web_bursty", "CVP"),
+])
+def test_new_scenario_families_in_catalogue(name, expected_category):
+    trace = make_trace(name, num_accesses=2000)
+    assert len(trace) == 2000
+    assert trace.category == expected_category
+    # Deterministic given the pinned seed.
+    again = make_trace(name, num_accesses=2000)
+    assert again.accesses == trace.accesses
+
+
+def test_phase_changing_workload_rotates_pcs():
+    from repro.workloads.generators import PhaseChangingWorkload
+    trace = PhaseChangingWorkload("phases", phase_length=500).generate(3000)
+    # Each phase draws PCs from its own range, so several distinct PC
+    # groups must appear across the six phases.
+    assert trace.unique_pcs() >= 8
+
+
+def test_multi_tenant_workload_partitions_address_space():
+    from repro.workloads.generators import MultiTenantWorkload
+    generator = MultiTenantWorkload("tenants", num_tenants=4,
+                                    tenant_footprint_mb=32)
+    trace = generator.generate(4000)
+    regions = {(access.address - 0x1000_0000)
+               // generator.tenant_footprint_bytes for access in trace}
+    assert regions == {0, 1, 2, 3}
+
+
+def test_bursty_server_workload_has_idle_gaps():
+    from repro.workloads.generators import BurstyServerWorkload
+    generator = BurstyServerWorkload("bursty", idle_nonmem=400)
+    trace = generator.generate(3000)
+    gaps = [access.nonmem_before for access in trace]
+    assert max(gaps) == 400
+    assert sum(1 for gap in gaps if gap == 400) >= 3000 // generator.burst_length

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Docs lint: every public module, class and function needs a docstring.
+
+A stdlib-only stand-in for pydocstyle (this repo has no third-party
+runtime dependencies): walks ``src/repro`` with ``ast``, and reports
+
+* modules without a module docstring,
+* public classes (not ``_``-prefixed) without a class docstring,
+* public module-level functions without a docstring.
+
+Methods are deliberately out of scope: most public methods here
+implement an interface whose contract is documented once on the ABC or
+in the class docstring (``Prefetcher.storage_bits``,
+``ReplacementPolicy.victim``, ``*Stats.as_dict``, ...), and ``help()``
+surfaces the class docs next to them.
+
+Exit status is the number of offenders (0 = clean), so CI can gate on
+it directly: ``python tools/check_docstrings.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+def _function_offenders(node: ast.FunctionDef,
+                        path: Path) -> Iterator[Tuple[Path, int, str]]:
+    name = node.name
+    if name.startswith("_"):
+        return
+    if ast.get_docstring(node) is None:
+        yield path, node.lineno, f"{name}() missing docstring"
+
+
+def check_file(path: Path) -> List[Tuple[Path, int, str]]:
+    """All docstring offenders in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    offenders: List[Tuple[Path, int, str]] = []
+    if ast.get_docstring(tree) is None:
+        offenders.append((path, 1, "module missing docstring"))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            offenders.extend(_function_offenders(node, path))
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            if ast.get_docstring(node) is None:
+                offenders.append((path, node.lineno,
+                                  f"class {node.name} missing docstring"))
+    return offenders
+
+
+def main() -> int:
+    """Walk src/repro and print one line per offender."""
+    offenders: List[Tuple[Path, int, str]] = []
+    for path in sorted(SRC.rglob("*.py")):
+        offenders.extend(check_file(path))
+    for path, line, message in offenders:
+        print(f"{path.relative_to(REPO_ROOT)}:{line}: {message}")
+    if offenders:
+        print(f"\n{len(offenders)} docstring offender(s)", file=sys.stderr)
+    else:
+        print("docstring check: clean")
+    return min(len(offenders), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
