@@ -6,6 +6,12 @@ prefetcher), runs a Ligra-like graph trace through it, then enables
 Hermes with the POPET off-chip predictor and compares IPC, off-chip load
 latency exposure and predictor quality.
 
+Written against the stable :mod:`repro.api` facade: configurations are
+plain data (``SystemConfig`` + dotted-path overrides) and ``api.run``
+executes one workload under one config — the same building blocks the
+CLI (``repro run --config file.toml --set ...``) and spec-driven sweeps
+use.
+
 Usage::
 
     python examples/quickstart.py [num_accesses]
@@ -15,28 +21,35 @@ from __future__ import annotations
 
 import sys
 
-from repro import SystemConfig, make_trace, simulate_trace
+from repro import api
 
 
 def main() -> None:
     num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
-    trace = make_trace("ligra.pagerank", num_accesses=num_accesses)
+    trace = api.make_trace("ligra.pagerank", num_accesses=num_accesses)
     print(f"Workload: {trace.name} ({trace.category}), "
           f"{trace.instruction_count} instructions, "
           f"{trace.load_count} loads, footprint "
           f"{trace.footprint_bytes() / (1 << 20):.1f} MB")
     print()
 
+    # Three systems as a base config plus declarative overrides — the
+    # in-Python mirror of a spec file's axis points.
+    base = api.SystemConfig(label="no-prefetching", prefetcher="none")
     configs = {
-        "no-prefetching": SystemConfig.no_prefetching(),
-        "pythia": SystemConfig.baseline("pythia"),
-        "pythia + Hermes-O (POPET)": SystemConfig.with_hermes("popet",
-                                                              prefetcher="pythia"),
+        "no-prefetching": base,
+        "pythia": base.override({"prefetcher": "pythia"}, label="pythia"),
+        "pythia + Hermes-O (POPET)": base.override(
+            {"prefetcher": "pythia",
+             "offchip_predictor": "popet",
+             "hermes.enabled": True,
+             "hermes.issue_latency": 6},
+            label="pythia+hermes-O(popet)"),
     }
 
-    results = {}
-    for label, config in configs.items():
-        results[label] = simulate_trace(config, trace)
+    results = {label: api.run(config, workload="ligra.pagerank",
+                              accesses=num_accesses)
+               for label, config in configs.items()}
 
     baseline = results["no-prefetching"]
     header = f"{'configuration':<28}{'IPC':>8}{'speedup':>10}{'off-chip':>10}{'MPKI':>8}"

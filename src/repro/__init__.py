@@ -28,6 +28,13 @@ See README.md for a tour.
 """
 
 from repro.analysis import geomean, geomean_speedup, speedup_by_category
+from repro.config import (
+    CONFIG_SCHEMA_VERSION,
+    ConfigError,
+    apply_overrides,
+    load_config,
+    save_config,
+)
 from repro.core import HermesConfig, HermesEngine
 from repro.cpu import CoreConfig, OutOfOrderCore
 from repro.dram import DRAMConfig, MemoryController
@@ -35,6 +42,7 @@ from repro.memory import Cache, CacheConfig, CacheHierarchy, HierarchyConfig
 from repro.offchip import POPET, POPETConfig, make_predictor
 from repro.prefetchers import make_prefetcher
 from repro.runner import (
+    ExperimentSpec,
     JobRunner,
     PredictorSpec,
     ProcessPoolBackend,
@@ -73,6 +81,11 @@ __all__ = [
     "DRAMConfig",
     "HermesConfig",
     "POPETConfig",
+    "CONFIG_SCHEMA_VERSION",
+    "ConfigError",
+    "apply_overrides",
+    "load_config",
+    "save_config",
     # components
     "OutOfOrderCore",
     "CacheHierarchy",
@@ -99,6 +112,7 @@ __all__ = [
     # orchestration
     "SimJob",
     "SweepSpec",
+    "ExperimentSpec",
     "PredictorSpec",
     "JobRunner",
     "SerialBackend",

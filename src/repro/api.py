@@ -1,0 +1,125 @@
+"""The stable public API facade.
+
+``repro.api`` is the one import surface user code needs: configuration
+types and their serialization, dotted-path overrides, experiment specs,
+the two high-level entry points :func:`run` and :func:`sweep`, and the
+component registries.  Everything here is re-exported from the
+subsystem modules, so the facade adds no behaviour — it pins the names
+that are stable across releases::
+
+    from repro import api
+
+    cfg = api.SystemConfig.from_file("system.toml")
+    cfg = api.apply_overrides(cfg, {"core.rob_size": 256})
+    result = api.run(cfg, workload="ligra.pagerank", accesses=20000)
+
+    spec = api.ExperimentSpec.from_file("examples/specs/rob_sweep.toml")
+    table = api.sweep(spec, parallel=True)   # {label: [per-workload]}
+
+The older per-module imports (``repro.sim.config``,
+``repro.experiments`` …) keep working — they are the implementation
+this facade fronts — but new code and external scripts should prefer
+``repro.api`` so internal reorganisations never break them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+# Configuration types
+from repro.config import (
+    CONFIG_SCHEMA_VERSION,
+    ConfigError,
+    apply_overrides,
+    config_field_paths,
+    load_config,
+    parse_override,
+    parse_override_value,
+    save_config,
+)
+from repro.core.hermes import HermesConfig
+from repro.cpu.core import CoreConfig
+from repro.dram.config import DRAMConfig
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.offchip.factory import available_predictors, make_predictor
+from repro.prefetchers.factory import available_prefetchers, make_prefetcher
+from repro.runner import (
+    ExperimentSpec,
+    JobRunner,
+    PredictorSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SimJob,
+    SweepSpec,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate_stream, simulate_trace
+from repro.workloads.suite import make_trace, select_workload_names
+
+__all__ = [
+    # configuration
+    "SystemConfig", "CoreConfig", "HierarchyConfig", "CacheConfig",
+    "DRAMConfig", "HermesConfig",
+    "CONFIG_SCHEMA_VERSION", "ConfigError",
+    "load_config", "save_config",
+    "apply_overrides", "parse_override", "parse_override_value",
+    "config_field_paths",
+    # specs and jobs
+    "ExperimentSpec", "SimJob", "SweepSpec", "PredictorSpec",
+    "JobRunner", "SerialBackend", "ProcessPoolBackend", "ResultCache",
+    # registries
+    "available_prefetchers", "available_predictors",
+    "make_prefetcher", "make_predictor",
+    # workloads
+    "make_trace", "select_workload_names",
+    # execution
+    "run", "sweep",
+    "SimulationResult", "simulate_trace", "simulate_stream",
+]
+
+
+def run(config: Optional[SystemConfig] = None, *,
+        workload: Optional[str] = None,
+        accesses: int = 20000,
+        overrides: Optional[Mapping[str, Any]] = None) -> SimulationResult:
+    """Run one simulation and return its :class:`SimulationResult`.
+
+    ``config`` defaults to a fresh :class:`SystemConfig`; ``overrides``
+    are dotted-path overrides applied on top.  ``workload`` is a
+    catalogue name or a trace file path (both resolve through
+    :func:`repro.workloads.suite.make_trace`).
+    """
+    if workload is None:
+        raise ValueError("run() needs a workload name or trace file path")
+    config = config if config is not None else SystemConfig()
+    if overrides:
+        config = apply_overrides(config, overrides)
+    return simulate_trace(config, make_trace(workload, accesses))
+
+
+def sweep(spec: Union[ExperimentSpec, SweepSpec, Sequence[SimJob]], *,
+          parallel: bool = False,
+          max_workers: Optional[int] = None,
+          cache_dir: Optional[Union[str, Path]] = None) -> Any:
+    """Run a sweep through the job runner (cache + chosen backend).
+
+    Accepts an :class:`ExperimentSpec` (returns ``{label:
+    [per-workload results]}``, the ``run_matrix`` shape), a
+    :class:`SweepSpec` (returns its reduced value) or a plain job list
+    (returns results in job order).  ``parallel`` fans the whole matrix
+    over a process pool; ``cache_dir`` memoises finished jobs on disk
+    keyed by config content.
+    """
+    backend = (ProcessPoolBackend(max_workers=max_workers) if parallel
+               else SerialBackend())
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    runner = JobRunner(backend=backend, result_cache=cache)
+    if isinstance(spec, ExperimentSpec):
+        return spec.group(runner.run(spec.jobs()))
+    if isinstance(spec, SweepSpec):
+        return runner.run_sweep(spec)
+    return runner.run(list(spec))

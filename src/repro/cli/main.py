@@ -12,6 +12,8 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.config import FORMATS  # stdlib-only import; keeps --help fast
+
 PROG = "python -m repro"
 
 #: Default trace format when piping through stdio (where the extension
@@ -33,10 +35,11 @@ def _emit_json(payload: Any, output: str) -> None:
             handle.write(text)
 
 
-def _build_config(prefetcher: str, predictor: Optional[str],
+def _build_config(prefetcher: Optional[str], predictor: Optional[str],
                   pessimistic: bool, warmup_fraction: Optional[float]):
     """A SystemConfig from the CLI's prefetcher/predictor flags."""
     from repro.sim.config import SystemConfig
+    prefetcher = prefetcher if prefetcher is not None else "pythia"
     if predictor is None or predictor == "none":
         config = SystemConfig.baseline(prefetcher)
     else:
@@ -44,6 +47,38 @@ def _build_config(prefetcher: str, predictor: Optional[str],
                                           optimistic=not pessimistic)
     if warmup_fraction is not None:
         config.warmup_fraction = warmup_fraction
+    return config
+
+
+def _resolve_config(args: argparse.Namespace):
+    """The effective SystemConfig of a run/config command.
+
+    Either ``--config file`` (declarative base; the prefetcher/predictor
+    shape flags then make no sense and are rejected) or the classic
+    shape flags, with ``--set key=value`` dotted overrides applied on
+    top in both cases.
+    """
+    from repro.config import apply_overrides, parse_override_tokens
+    if args.config is not None:
+        conflicting = [flag for flag, value in [
+            ("--prefetcher", args.prefetcher),
+            ("--predictor", args.predictor),
+            ("--pessimistic", args.pessimistic or None),
+        ] if value is not None]
+        if conflicting:
+            raise ValueError(
+                f"{', '.join(conflicting)} cannot be combined with --config; "
+                f"use --set (e.g. --set prefetcher=spp) to override the file")
+        from repro.config import load_config
+        config = load_config(args.config)
+        if args.warmup_fraction is not None:
+            config.warmup_fraction = args.warmup_fraction
+    else:
+        config = _build_config(args.prefetcher, args.predictor,
+                               args.pessimistic, args.warmup_fraction)
+    overrides = parse_override_tokens(args.set)
+    if overrides:
+        config = apply_overrides(config, overrides)
     return config
 
 
@@ -83,8 +118,7 @@ def _split_list(values: Sequence[str]) -> List[str]:
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one simulation and print its stats JSON."""
     from repro.sim.simulator import simulate_stream, simulate_trace
-    config = _build_config(args.prefetcher, args.predictor, args.pessimistic,
-                           args.warmup_fraction)
+    config = _resolve_config(args)
     if args.trace is not None:
         fmt = args.format
         if fmt is None and args.trace == "-":
@@ -147,9 +181,14 @@ FIGURE_RUNNERS: Dict[str, str] = {
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a figure runner or an ad-hoc config x workload job matrix."""
+    """Run a spec file, a figure runner, or an ad-hoc job matrix."""
     import repro.experiments as experiments
     from repro.experiments.common import ExperimentSetup
+
+    if args.spec is not None and args.figure is not None:
+        raise ValueError("--spec and --figure are mutually exclusive")
+    if args.spec is not None:
+        return _sweep_spec(args)
 
     setup = ExperimentSetup(parallel=args.parallel,
                             max_workers=args.max_workers,
@@ -168,6 +207,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ("--predictors", args.predictors),
             ("--pessimistic", args.pessimistic or None),
             ("--warmup-fraction", args.warmup_fraction),
+            ("--set", args.set or None),
         ] if value is not None]
         if ignored:
             raise ValueError(
@@ -185,8 +225,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     # Ad-hoc matrix mode: every (prefetcher, predictor) label over the
-    # selected workloads, one JSON row per finished job.
+    # selected workloads, one JSON row per finished job.  --set dotted
+    # overrides apply to every matrix cell.
+    from repro.config import apply_overrides, parse_override_tokens
     from repro.runner import SimJob, jobs_for_suite
+    overrides = parse_override_tokens(args.set)
     workloads = (_split_list(args.workloads) if args.workloads
                  else setup.workload_names())
     jobs: List[SimJob] = []
@@ -198,6 +241,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             config = _build_config(prefetcher,
                                    None if predictor == "none" else predictor,
                                    args.pessimistic, args.warmup_fraction)
+            if overrides:
+                config = apply_overrides(config, overrides)
             batch = jobs_for_suite(config, workloads, setup.num_accesses)
             jobs.extend(batch)
             labels.extend([config.label] * len(batch))
@@ -208,6 +253,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         row["config"] = label
         rows.append(row)
     _emit_json({"jobs": len(rows), "rows": rows}, args.output)
+    return 0
+
+
+def _sweep_spec(args: argparse.Namespace) -> int:
+    """Run a declarative spec file (``repro sweep --spec path.toml``)."""
+    from repro.config import apply_overrides, parse_override_tokens
+    from repro.runner import ExperimentSpec, JobRunner, ResultCache
+    from repro.runner.backends import ProcessPoolBackend, SerialBackend
+
+    ignored = [flag for flag, value in [
+        ("--workloads", args.workloads),
+        ("--prefetchers", args.prefetchers),
+        ("--predictors", args.predictors),
+        ("--pessimistic", args.pessimistic or None),
+        ("--warmup-fraction", args.warmup_fraction),
+        ("--categories", args.categories),
+        ("--per-category", args.per_category),
+    ] if value is not None]
+    if ignored:
+        raise ValueError(
+            f"{', '.join(ignored)} only apply to ad-hoc matrices; the spec "
+            f"file declares its own matrix (use --set for base-config "
+            f"overrides and --accesses for sizing)")
+
+    spec = ExperimentSpec.from_file(args.spec)
+    overrides = parse_override_tokens(args.set)
+    if overrides:
+        spec.base = apply_overrides(spec.base, overrides)
+    if args.accesses is not None:
+        spec.accesses = args.accesses
+
+    backend = (ProcessPoolBackend(max_workers=args.max_workers)
+               if args.parallel else SerialBackend())
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    jobs = spec.jobs()
+    results = JobRunner(backend=backend, result_cache=cache).run(jobs)
+    rows = []
+    for job, result in zip(jobs, results):
+        row = result.as_dict()
+        row["config"] = job.config.label
+        rows.append(row)
+    _emit_json({"spec": spec.name, "jobs": len(rows), "rows": rows},
+               args.output)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro config
+# ---------------------------------------------------------------------- #
+
+def cmd_config_dump(args: argparse.Namespace) -> int:
+    """Resolve a config (file/flags/--set) and write it back out.
+
+    The canonical round-trip tool: ``repro config dump`` with no
+    arguments prints the schema-stamped default configuration;
+    ``--config file --set k=v`` loads, overrides and re-serializes.
+    """
+    from repro.config import config_to_text, resolve_format
+    config = _resolve_config(args)
+    fmt = (args.format if args.format is not None
+           else ("toml" if args.output == "-"
+                 else resolve_format(args.output)))
+    text = config_to_text(config, fmt)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0
+
+
+def cmd_config_validate(args: argparse.Namespace) -> int:
+    """Load a config file strictly and run full semantic validation."""
+    from repro.config import load_config
+    config = load_config(args.path)
+    config.validate()
+    print(f"{args.path}: ok (label {config.label!r}, "
+          f"prefetcher {config.prefetcher!r}, "
+          f"off-chip predictor {config.offchip_predictor!r})")
+    return 0
+
+
+def cmd_config_paths(args: argparse.Namespace) -> int:
+    """List every dotted override path accepted by --set and spec axes."""
+    from repro.config import config_field_paths
+    from repro.sim.config import SystemConfig
+    for path, annotation in config_field_paths(SystemConfig):
+        name = getattr(annotation, "__name__", None) or str(annotation)
+        print(f"{path:<40} {name}")
     return 0
 
 
@@ -330,7 +464,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     # ---- sweep -------------------------------------------------------- #
     sweep = subparsers.add_parser(
-        "sweep", help="run a figure runner or a config x workload job matrix")
+        "sweep", help="run a spec file, a figure runner, or a config x "
+                      "workload job matrix")
+    sweep.add_argument("--spec", default=None, metavar="FILE",
+                       help="run the sweep declared in this TOML/JSON "
+                            "experiment-spec file (base config + override "
+                            "axes + workloads; see DESIGN.md and "
+                            "examples/specs/)")
+    sweep.add_argument("--set", action="append", default=None,
+                       metavar="KEY=VALUE",
+                       help="dotted-path config override (repeatable): "
+                            "applied to the spec's base config with "
+                            "--spec, or to every matrix cell in ad-hoc "
+                            "mode (not valid with --figure)")
     sweep.add_argument("--figure", choices=sorted(FIGURE_RUNNERS),
                        default=None,
                        help="run this paper figure/table runner (with its "
@@ -409,6 +555,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON destination (default: stdout)")
     inspect.set_defaults(func=cmd_trace_inspect)
 
+    # ---- config ------------------------------------------------------- #
+    config = subparsers.add_parser(
+        "config", help="dump, validate and explore config files")
+    config_sub = config.add_subparsers(dest="config_command", required=True)
+
+    dump = config_sub.add_parser(
+        "dump", help="resolve a configuration (file/flags/--set) and "
+                     "serialize it to a schema-stamped TOML/JSON file")
+    _add_config_flags(dump)
+    dump.add_argument("--format", choices=sorted(FORMATS), default=None,
+                      help="output format (default: by --output extension; "
+                           "toml for stdout)")
+    dump.add_argument("--output", default="-",
+                      help="destination path (default: stdout)")
+    dump.set_defaults(func=cmd_config_dump)
+
+    validate = config_sub.add_parser(
+        "validate", help="strictly load a config file and run full "
+                         "semantic validation")
+    validate.add_argument("path", help="config file path (.toml/.json)")
+    validate.set_defaults(func=cmd_config_validate)
+
+    paths = config_sub.add_parser(
+        "paths", help="list every dotted override path accepted by --set "
+                      "and spec axes")
+    paths.set_defaults(func=cmd_config_paths)
+
     # ---- bench -------------------------------------------------------- #
     # Registered for the top-level help listing only; `main` intercepts
     # `bench` before argparse so every following argument (including
@@ -422,7 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--prefetcher", default="pythia",
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="load the system configuration from this "
+                             "TOML/JSON config file (written by "
+                             "'repro config dump' / SystemConfig.to_file); "
+                             "excludes --prefetcher/--predictor/--pessimistic")
+    parser.add_argument("--prefetcher", default=None,
                         help="prefetcher name, or 'none' (default: pythia)")
     parser.add_argument("--predictor", default=None,
                         help="off-chip predictor name enabling Hermes "
@@ -431,6 +609,12 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                         help="use Hermes-P instead of Hermes-O")
     parser.add_argument("--warmup-fraction", type=float, default=None,
                         help="override the config warmup fraction")
+    parser.add_argument("--set", action="append", default=None,
+                        metavar="KEY=VALUE",
+                        help="dotted-path config override, e.g. "
+                             "--set core.rob_size=512 or "
+                             "--set hermes.enabled=true (repeatable; "
+                             "'repro config paths' lists every key)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -442,8 +626,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_bench(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Only these two KeyError subclasses carry user-facing messages
+    # (unknown component name / bad override path); any other KeyError
+    # is a genuine bug and must keep its traceback.
+    from repro.config.overrides import OverridePathError
+    from repro.registry import UnknownComponentError
     try:
         return args.func(args)
+    except (UnknownComponentError, OverridePathError) as exc:
+        print(f"{PROG}: error: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, FileNotFoundError) as exc:
         print(f"{PROG}: error: {exc}", file=sys.stderr)
         return 2

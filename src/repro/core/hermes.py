@@ -26,12 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.config.schema import SerializableConfig
 from repro.dram.controller import MemoryController, RequestSource
 from repro.offchip.base import LoadContext, OffChipPredictor, PredictionRecord
 
 
 @dataclass
-class HermesConfig:
+class HermesConfig(SerializableConfig):
     """Hermes datapath parameters.
 
     ``issue_latency`` is the Hermes request issue latency: the cycles

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.config.schema import SerializableConfig
 from repro.core.hermes import HermesEngine
 from repro.dram.controller import RequestSource
 from repro.memory.hierarchy import CacheHierarchy
@@ -37,7 +38,7 @@ from repro.workloads.trace import MemoryAccess, Trace
 
 
 @dataclass
-class CoreConfig:
+class CoreConfig(SerializableConfig):
     """Core parameters (paper Table 4 defaults)."""
 
     rob_size: int = 512

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.config.schema import SerializableConfig
+
 
 @dataclass
-class DRAMConfig:
+class DRAMConfig(SerializableConfig):
     """Main-memory organisation and timing.
 
     Defaults model the single-core configuration of Table 4: one channel,

@@ -27,7 +27,7 @@ from repro.runner import (
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate_trace
-from repro.workloads.suite import CATEGORIES, workload_names, workload_suite
+from repro.workloads.suite import CATEGORIES, make_trace, select_workload_names
 from repro.workloads.trace import Trace
 
 #: A matrix entry: a configuration, optionally paired with a predictor
@@ -56,25 +56,25 @@ class ExperimentSetup:
     result_cache_dir: Optional[Union[str, Path]] = None
 
     def workload_names(self) -> List[str]:
-        """The evaluation workload names for this setup, in suite order."""
-        names: List[str] = []
-        for category in self.categories:
-            selected = workload_names(category)
-            if self.per_category is not None:
-                selected = selected[:self.per_category]
-            names.extend(selected)
-        return names
+        """The evaluation workload names for this setup, in suite order.
+
+        Delegates to :func:`repro.workloads.suite.select_workload_names`
+        — the one selection rule shared with :func:`workload_suite` and
+        spec files.
+        """
+        return select_workload_names(categories=self.categories,
+                                     per_category=self.per_category)
 
     def build_suite(self) -> List[Trace]:
         """Generate the evaluation workload traces for this setup.
 
-        Served from the process-wide trace cache: repeated calls (e.g.
-        several experiments sharing one setup) return the same trace
-        objects without regeneration.
+        Derived directly from :meth:`workload_names` (so the two can
+        never drift) and served from the process-wide trace cache:
+        repeated calls return the same trace objects without
+        regeneration.
         """
-        return workload_suite(num_accesses=self.num_accesses,
-                              categories=self.categories,
-                              per_category=self.per_category)
+        return [make_trace(name, self.num_accesses)
+                for name in self.workload_names()]
 
     def make_backend(self) -> ExecutionBackend:
         if self.parallel:

@@ -5,11 +5,17 @@ of Pythia alone and Pythia+Hermes over the no-prefetching system, so the
 benchmark output has the same series as the corresponding figure.  Each
 sweep submits its full (parameter x configuration x workload) job matrix
 in one batch, so a parallel backend spreads the whole figure at once.
+
+The ROB-size and LLC-size sweeps (Figs. 19/20) are written against the
+declarative experiment-spec API — the same :class:`~repro.runner.spec.
+ExperimentSpec` a TOML file loads into — so they double as executable
+proof that spec-driven sweeps and hand-built ``run_matrix`` calls are
+the same machinery.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.metrics import average, geomean_speedup
 from repro.experiments.common import (
@@ -18,7 +24,27 @@ from repro.experiments.common import (
     PredictorSpec,
     run_matrix,
 )
+from repro.runner.spec import Axis, AxisPoint, ExperimentSpec
 from repro.sim.config import SystemConfig
+
+#: The four systems every sensitivity figure compares, as override axes
+#: points (the spec-file equivalent of the SystemConfig classmethods).
+_SYSTEM_AXIS = Axis("system", [
+    AxisPoint("baseline", {"prefetcher": "none"}),
+    AxisPoint("hermes", {"prefetcher": "none",
+                         "offchip_predictor": "popet",
+                         "hermes.enabled": True}),
+    AxisPoint("pythia", {"prefetcher": "pythia"}),
+    AxisPoint("pythia+hermes", {"prefetcher": "pythia",
+                                "offchip_predictor": "popet",
+                                "hermes.enabled": True}),
+])
+
+
+def _run_spec(setup: ExperimentSetup,
+              spec: ExperimentSpec) -> Dict[str, Any]:
+    """Execute a spec through the setup's runner, grouped by label."""
+    return spec.group(setup.runner().run(spec.jobs()))
 
 
 def run_fig17a_bandwidth_sensitivity(setup: Optional[ExperimentSetup] = None,
@@ -153,23 +179,25 @@ def run_fig17e_activation_threshold(setup: Optional[ExperimentSetup] = None,
 def run_fig19_rob_size_sensitivity(setup: Optional[ExperimentSetup] = None,
                                    rob_sizes: Sequence[int] = (256, 512, 1024),
                                    ) -> Dict[int, Dict[str, float]]:
-    """Speedup sensitivity to the reorder-buffer size (Fig. 19)."""
+    """Speedup sensitivity to the reorder-buffer size (Fig. 19).
+
+    Declared through the spec API: a (system x ROB-size) axis
+    cross-product — exactly what a TOML spec file with the same axes
+    expands to.
+    """
     setup = setup or ExperimentSetup()
-    matrix: Dict[str, ConfigEntry] = {}
-    for rob in rob_sizes:
-        matrix[f"{rob}/baseline"] = (
-            SystemConfig.no_prefetching().with_rob_size(rob))
-        matrix[f"{rob}/hermes"] = (
-            SystemConfig.with_hermes("popet").with_rob_size(rob))
-        matrix[f"{rob}/pythia"] = (
-            SystemConfig.baseline("pythia").with_rob_size(rob))
-        matrix[f"{rob}/pythia+hermes"] = SystemConfig.with_hermes(
-            "popet", prefetcher="pythia").with_rob_size(rob)
-    results = run_matrix(setup, matrix)
+    spec = ExperimentSpec(
+        name="fig19-rob-size",
+        axes=[_SYSTEM_AXIS,
+              Axis("rob", [AxisPoint(f"rob{rob}", {"core.rob_size": rob})
+                           for rob in rob_sizes])],
+        workloads=setup.workload_names(),
+        accesses=setup.num_accesses)
+    results = _run_spec(setup, spec)
     return {
         rob: {
-            label: geomean_speedup(results[f"{rob}/{label}"],
-                                   results[f"{rob}/baseline"])
+            label: geomean_speedup(results[f"{label}/rob{rob}"],
+                                   results[f"baseline/rob{rob}"])
             for label in ("hermes", "pythia", "pythia+hermes")
         }
         for rob in rob_sizes
@@ -179,23 +207,27 @@ def run_fig19_rob_size_sensitivity(setup: Optional[ExperimentSetup] = None,
 def run_fig20_llc_size_sensitivity(setup: Optional[ExperimentSetup] = None,
                                    llc_sizes_mb: Sequence[float] = (3, 6, 12),
                                    ) -> Dict[float, Dict[str, float]]:
-    """Speedup sensitivity to the per-core LLC size (Fig. 20)."""
+    """Speedup sensitivity to the per-core LLC size (Fig. 20).
+
+    Spec-driven like :func:`run_fig19_rob_size_sensitivity`, with the
+    LLC capacity expressed as the ``hierarchy.llc.size_bytes`` override
+    a TOML axis would use.
+    """
     setup = setup or ExperimentSetup()
-    matrix: Dict[str, ConfigEntry] = {}
-    for size_mb in llc_sizes_mb:
-        matrix[f"{size_mb}/baseline"] = (
-            SystemConfig.no_prefetching().with_llc_size_mb(size_mb))
-        matrix[f"{size_mb}/hermes"] = (
-            SystemConfig.with_hermes("popet").with_llc_size_mb(size_mb))
-        matrix[f"{size_mb}/pythia"] = (
-            SystemConfig.baseline("pythia").with_llc_size_mb(size_mb))
-        matrix[f"{size_mb}/pythia+hermes"] = SystemConfig.with_hermes(
-            "popet", prefetcher="pythia").with_llc_size_mb(size_mb)
-    results = run_matrix(setup, matrix)
+    spec = ExperimentSpec(
+        name="fig20-llc-size",
+        axes=[_SYSTEM_AXIS,
+              Axis("llc", [AxisPoint(
+                  f"llc{size_mb}MB",
+                  {"hierarchy.llc.size_bytes": int(size_mb * 1024 * 1024)})
+                  for size_mb in llc_sizes_mb])],
+        workloads=setup.workload_names(),
+        accesses=setup.num_accesses)
+    results = _run_spec(setup, spec)
     return {
         size_mb: {
-            label: geomean_speedup(results[f"{size_mb}/{label}"],
-                                   results[f"{size_mb}/baseline"])
+            label: geomean_speedup(results[f"{label}/llc{size_mb}MB"],
+                                   results[f"baseline/llc{size_mb}MB"])
             for label in ("hermes", "pythia", "pythia+hermes")
         }
         for size_mb in llc_sizes_mb

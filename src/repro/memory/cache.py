@@ -29,6 +29,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.config.schema import SerializableConfig
 from repro.memory.address import BLOCK_BITS, BLOCK_SIZE
 from repro.memory.replacement import (
     LRUPolicy,
@@ -47,7 +48,7 @@ FLAG_REUSED = 8
 
 
 @dataclass
-class CacheConfig:
+class CacheConfig(SerializableConfig):
     """Configuration of a single cache level.
 
     Sizes follow the paper's Table 4 defaults (see

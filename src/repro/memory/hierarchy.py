@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
+from repro.config.schema import SerializableConfig
 from repro.dram import DRAMConfig, MemoryController, RequestSource
 from repro.memory.address import BLOCK_BITS
 from repro.memory.cache import (
@@ -40,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 
 @dataclass
-class HierarchyConfig:
+class HierarchyConfig(SerializableConfig):
     """Cache hierarchy configuration (paper Table 4 defaults)."""
 
     l1d: CacheConfig = field(default_factory=lambda: CacheConfig(

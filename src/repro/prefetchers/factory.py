@@ -35,7 +35,9 @@ def available_prefetchers() -> List[str]:
 def make_prefetcher(name: str, **options: Any) -> Prefetcher:
     """Construct a prefetcher by name.
 
-    Raises ``ValueError`` for unknown names so configuration typos fail
-    loudly instead of silently simulating without a prefetcher.
+    Raises :class:`repro.registry.UnknownComponentError` (a
+    ``KeyError`` listing the registered names) for unknown names so
+    configuration typos fail loudly instead of silently simulating
+    without a prefetcher.
     """
     return prefetcher_registry.create(name, **options)

@@ -24,6 +24,32 @@ T = TypeVar("T")
 F = TypeVar("F", bound=Callable[..., Any])
 
 
+class UnknownComponentError(KeyError):
+    """Lookup of a name no component registered under.
+
+    A ``KeyError`` whose message lists the names that *are* registered,
+    so a configuration typo tells the user what to type instead.  The
+    CLI surfaces the message directly (no traceback).
+    """
+
+    def __init__(self, kind: str, name: str, available: List[str]) -> None:
+        super().__init__(
+            f"unknown {kind} {name!r}; available: {', '.join(available) or '(none)'}")
+        self.kind = kind
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; show the message plain.
+        return self.args[0]
+
+    def __reduce__(self):
+        # Rebuild from the constructor arguments, not args (the message
+        # tuple), so the exception survives the pickle round-trip from a
+        # process-pool worker back to the parent.
+        return (type(self), (self.kind, self.name, self.available))
+
+
 class Registry(Generic[T]):
     """A name -> factory mapping with decorator-based registration."""
 
@@ -52,13 +78,15 @@ class Registry(Generic[T]):
         return decorator
 
     def create(self, name: str, **options: Any) -> T:
-        """Instantiate the component registered under ``name``."""
+        """Instantiate the component registered under ``name``.
+
+        Unknown names raise :class:`UnknownComponentError` (a
+        ``KeyError``) listing every registered name.
+        """
         try:
             factory = self._factories[name.lower()]
-        except KeyError as exc:
-            raise ValueError(
-                f"unknown {self.kind} {name!r}; expected one of {self.names()}"
-            ) from exc
+        except KeyError:
+            raise UnknownComponentError(self.kind, name, self.names()) from None
         return factory(**options)
 
     def names(self) -> List[str]:

@@ -16,6 +16,9 @@ lists executed through pluggable backends with two cache layers:
   trace cache lives with the workload catalogue in
   :mod:`repro.workloads.suite`).
 * :class:`~repro.runner.runner.JobRunner` — ties the above together.
+* :class:`~repro.runner.spec.ExperimentSpec` — sweeps declared as
+  TOML/JSON documents (base config + override axes + workloads),
+  expanded into the same job matrices.
 
 See DESIGN.md (section 3) for the architecture discussion.
 """
@@ -35,11 +38,16 @@ from repro.runner.job import (
     jobs_for_suite,
 )
 from repro.runner.runner import JobRunner
+from repro.runner.spec import SPEC_VERSION, Axis, AxisPoint, ExperimentSpec
 
 __all__ = [
     "JOB_SCHEMA_VERSION",
+    "SPEC_VERSION",
     "SimJob",
     "SweepSpec",
+    "ExperimentSpec",
+    "Axis",
+    "AxisPoint",
     "PredictorSpec",
     "jobs_for_suite",
     "execute_job",

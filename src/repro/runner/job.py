@@ -16,13 +16,16 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.config.schema import CONFIG_SCHEMA_VERSION, SerializableConfig
 from repro.dram.config import DRAMConfig
 from repro.sim.config import SystemConfig
 from repro.workloads.formats.base import TRACE_FORMAT_VERSION
 
 #: Bump when the job schema or simulation semantics change incompatibly,
 #: so stale on-disk cache entries stop matching.
-JOB_SCHEMA_VERSION = 1
+#: v2: configs hash through their canonical serialized form
+#: (SerializableConfig.to_dict) stamped with CONFIG_SCHEMA_VERSION.
+JOB_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -92,6 +95,7 @@ class SimJob:
         overwriting a trace file invalidates its cached results.
         """
         payload = {"schema": JOB_SCHEMA_VERSION,
+                   "config_schema": CONFIG_SCHEMA_VERSION,
                    "trace_format": TRACE_FORMAT_VERSION,
                    "traces": _workload_fingerprint(self.workload),
                    "job": _canonical(self)}
@@ -125,7 +129,15 @@ def _workload_fingerprint(workload: Union[str, Tuple[str, ...]]) -> List[Any]:
 
 
 def _canonical(value: Any) -> Any:
-    """Reduce ``value`` to JSON-serialisable primitives, deterministically."""
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically.
+
+    Configuration dataclasses go through their canonical serialized form
+    (:meth:`~repro.config.schema.SerializableConfig.to_dict`), so cache
+    identity derives from config *content* under the config schema: a
+    config serialized to disk and reloaded produces byte-identical keys.
+    """
+    if isinstance(value, SerializableConfig):
+        return value.to_dict()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {f.name: _canonical(getattr(value, f.name))
                 for f in dataclasses.fields(value)}

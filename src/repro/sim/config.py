@@ -5,13 +5,26 @@ embeds the core, cache-hierarchy, DRAM and Hermes configurations.  Named
 constructors build the specific configurations the paper evaluates
 (baseline Pythia, Hermes-O/P on top of any prefetcher, the
 no-prefetching system every speedup is normalised to, and so on).
+
+Configurations are first-class *data*: every config dataclass mixes in
+:class:`~repro.config.schema.SerializableConfig`, so a SystemConfig
+round-trips losslessly through ``to_dict``/``from_dict``, serializes to
+TOML/JSON files (:meth:`to_file`/:meth:`from_file`), and accepts
+dotted-path overrides (:func:`repro.config.apply_overrides`, the
+``--set`` CLI flag, and experiment-spec axes).  The ``with_*`` sweep
+helpers below are retained as thin compatibility shims over the
+override layer — new code should say
+``apply_overrides(cfg, {"core.rob_size": 512})`` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Mapping, Optional
 
+from repro.config.io import load_config, save_config
+from repro.config.overrides import apply_overrides
+from repro.config.schema import SerializableConfig
 from repro.core.hermes import HermesConfig
 from repro.cpu.core import CoreConfig
 from repro.dram.config import DRAMConfig
@@ -20,7 +33,7 @@ from repro.memory.hierarchy import HierarchyConfig
 
 
 @dataclass
-class SystemConfig:
+class SystemConfig(SerializableConfig):
     """Complete single-core system configuration."""
 
     label: str = "baseline"
@@ -33,6 +46,14 @@ class SystemConfig:
     warmup_fraction: float = 0.25
 
     def validate(self) -> None:
+        """Reject invalid configurations before any simulation starts.
+
+        Recurses through every embedded config (so ``from_dict``-built
+        configurations are fully checked) and resolves the prefetcher
+        and off-chip predictor names against the component registries —
+        an unknown name raises ``KeyError`` listing what is registered,
+        the same error the registries themselves produce.
+        """
         self.core.validate()
         self.hierarchy.validate()
         self.dram.validate()
@@ -41,6 +62,37 @@ class SystemConfig:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if self.hermes.enabled and self.offchip_predictor is None:
             raise ValueError("Hermes is enabled but no off-chip predictor is configured")
+        # Imported lazily: the factories import every component module.
+        from repro.offchip.factory import predictor_registry
+        from repro.prefetchers.factory import prefetcher_registry
+        from repro.registry import UnknownComponentError
+        if self.prefetcher not in prefetcher_registry:
+            raise UnknownComponentError("prefetcher", self.prefetcher,
+                                        prefetcher_registry.names())
+        if (self.offchip_predictor is not None
+                and self.offchip_predictor not in predictor_registry):
+            raise UnknownComponentError("off-chip predictor",
+                                        self.offchip_predictor,
+                                        predictor_registry.names())
+
+    # ------------------------------------------------------------------ #
+    # Serialization (see repro.config for the schema machinery)
+    # ------------------------------------------------------------------ #
+
+    def to_file(self, path, fmt: Optional[str] = None) -> None:
+        """Write this configuration as a TOML/JSON config file."""
+        save_config(self, path, fmt)
+
+    @classmethod
+    def from_file(cls, path, fmt: Optional[str] = None) -> "SystemConfig":
+        """Load a configuration written by :meth:`to_file` (strict)."""
+        return load_config(path, fmt)
+
+    def override(self, overrides: Mapping[str, Any],
+                 label: Optional[str] = None) -> "SystemConfig":
+        """A copy with dotted-path ``overrides`` applied (and a new label)."""
+        config = apply_overrides(self, overrides)
+        return config if label is None else replace(config, label=label)
 
     # ------------------------------------------------------------------ #
     # Named configurations used throughout the experiments
@@ -70,33 +122,33 @@ class SystemConfig:
                    hermes=hermes_config)
 
     # ------------------------------------------------------------------ #
-    # Sweep helpers (sensitivity studies)
+    # Sweep helpers — deprecated shims over the dotted-path override
+    # layer; prefer cfg.override({...}) / apply_overrides directly.
     # ------------------------------------------------------------------ #
 
     def with_label(self, label: str) -> "SystemConfig":
         return replace(self, label=label)
 
     def with_rob_size(self, rob_size: int) -> "SystemConfig":
-        return replace(self, core=replace(self.core, rob_size=rob_size),
-                       label=f"{self.label}-rob{rob_size}")
+        return self.override({"core.rob_size": rob_size},
+                             label=f"{self.label}-rob{rob_size}")
 
     def with_llc_size_mb(self, size_mb: float) -> "SystemConfig":
-        llc = replace(self.hierarchy.llc, size_bytes=int(size_mb * 1024 * 1024))
-        return replace(self, hierarchy=replace(self.hierarchy, llc=llc),
-                       label=f"{self.label}-llc{size_mb}MB")
+        return self.override(
+            {"hierarchy.llc.size_bytes": int(size_mb * 1024 * 1024)},
+            label=f"{self.label}-llc{size_mb}MB")
 
     def with_llc_latency(self, latency: int) -> "SystemConfig":
-        llc = replace(self.hierarchy.llc, latency=latency)
-        return replace(self, hierarchy=replace(self.hierarchy, llc=llc),
-                       label=f"{self.label}-llclat{latency}")
+        return self.override({"hierarchy.llc.latency": latency},
+                             label=f"{self.label}-llclat{latency}")
 
     def with_memory_bandwidth(self, mtps: int) -> "SystemConfig":
-        return replace(self, dram=self.dram.scaled(mtps),
-                       label=f"{self.label}-{mtps}mtps")
+        return self.override({"dram.transfer_rate_mtps": mtps},
+                             label=f"{self.label}-{mtps}mtps")
 
     def with_hermes_issue_latency(self, cycles: int) -> "SystemConfig":
-        return replace(self, hermes=replace(self.hermes, issue_latency=cycles),
-                       label=f"{self.label}-issue{cycles}")
+        return self.override({"hermes.issue_latency": cycles},
+                             label=f"{self.label}-issue{cycles}")
 
     @classmethod
     def eight_core_dram(cls) -> DRAMConfig:

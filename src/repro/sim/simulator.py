@@ -90,6 +90,9 @@ def simulate_trace(config: SystemConfig, trace: Trace,
     measured portion, mirroring the paper's warmup/simulate split
     (Section 7).
     """
+    # build_system validates the config first thing (recursing through
+    # every embedded config and resolving component names against the
+    # registries), so invalid configs fail before any simulation work.
     system = build_system(config, predictor=predictor)
     accesses = trace.accesses
     total = len(accesses) if max_accesses is None else min(max_accesses, len(accesses))
@@ -136,6 +139,8 @@ def simulate_stream(config: SystemConfig,
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    # build_system validates the config before the stream (which may be
+    # a single-pass pipe) is touched.
     system = build_system(config, predictor=predictor)
     length = stream.length if isinstance(stream, StreamingTrace) else len(stream)
     if length is None and config.warmup_fraction > 0:

@@ -41,6 +41,7 @@ from repro.workloads.suite import (
     make_trace,
     multicore_mix_names,
     multicore_mixes,
+    select_workload_names,
     trace_cache,
     trace_cache_info,
     workload_names,
@@ -66,6 +67,7 @@ __all__ = [
     "TraceCache",
     "make_trace",
     "workload_names",
+    "select_workload_names",
     "workload_suite",
     "multicore_mix_names",
     "multicore_mixes",

@@ -255,24 +255,40 @@ def make_trace(name: str, num_accesses: int = 20000) -> Trace:
                                       _generate)
 
 
+def select_workload_names(categories: Optional[Sequence[str]] = None,
+                          per_category: Optional[int] = None) -> List[str]:
+    """The suite's workload selection, in suite order.
+
+    This is the *single* implementation of the category/per-category
+    selection rule — :func:`workload_suite`,
+    :meth:`repro.experiments.common.ExperimentSetup.workload_names` and
+    experiment-spec files all derive from it, so they cannot drift.
+    ``per_category`` keeps the first N workloads of each category (the
+    paper-shaped ones come first in the catalogue).
+    """
+    selected_categories = (list(categories) if categories is not None
+                           else list(CATEGORIES))
+    names: List[str] = []
+    for category in selected_categories:
+        selected = workload_names(category)
+        if per_category is not None:
+            selected = selected[:per_category]
+        names.extend(selected)
+    return names
+
+
 def workload_suite(num_accesses: int = 20000,
                    categories: Optional[Sequence[str]] = None,
                    per_category: Optional[int] = None) -> List[Trace]:
     """Generate the full evaluation suite (or a subset of it).
 
+    The selection comes from :func:`select_workload_names`;
     ``per_category`` limits the number of workloads taken from each
     category, which keeps the benchmark harness affordable while still
     exercising every category.
     """
-    selected_categories = list(categories) if categories is not None else list(CATEGORIES)
-    traces: List[Trace] = []
-    for category in selected_categories:
-        names = workload_names(category)
-        if per_category is not None:
-            names = names[:per_category]
-        for name in names:
-            traces.append(make_trace(name, num_accesses))
-    return traces
+    return [make_trace(name, num_accesses)
+            for name in select_workload_names(categories, per_category)]
 
 
 def multicore_mix_names(num_cores: int = 8, num_mixes: int = 4,

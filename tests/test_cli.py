@@ -121,3 +121,113 @@ def test_sweep_figure_rejects_matrix_flags():
     proc = run_cli("sweep", "--figure", "table3", "--predictors", "popet",
                    expect_rc=2)
     assert b"only apply to ad-hoc matrices" in proc.stderr
+
+
+# --------------------------------------------------------------------- #
+# Declarative config & spec-driven sweeps
+# --------------------------------------------------------------------- #
+
+def test_config_dump_load_round_trip(tmp_path):
+    """`config dump` output reloads (and re-dumps) byte-identically."""
+    first = tmp_path / "cfg.toml"
+    second = tmp_path / "cfg2.toml"
+    run_cli("config", "dump", "--predictor", "popet",
+            "--set", "core.rob_size=256", "--output", str(first))
+    run_cli("config", "dump", "--config", str(first), "--output", str(second))
+    assert first.read_text() == second.read_text()
+    proc = run_cli("config", "validate", str(first))
+    assert b"ok" in proc.stdout
+
+    json_out = tmp_path / "cfg.json"
+    run_cli("config", "dump", "--config", str(first),
+            "--output", str(json_out))
+    payload = json.loads(json_out.read_text())
+    assert payload["system"]["core"]["rob_size"] == 256
+
+
+def test_run_with_config_file_matches_flags(tmp_path):
+    """--config file + --set reproduces the flag-built run exactly."""
+    flag_out = tmp_path / "flags.json"
+    run_cli("run", "--workload", "ligra.bfs", "--accesses", "900",
+            "--predictor", "popet", "--output", str(flag_out))
+
+    cfg = tmp_path / "cfg.toml"
+    run_cli("config", "dump", "--predictor", "popet", "--output", str(cfg))
+    file_out = tmp_path / "file.json"
+    run_cli("run", "--workload", "ligra.bfs", "--accesses", "900",
+            "--config", str(cfg), "--output", str(file_out))
+    assert json.loads(flag_out.read_text()) == json.loads(file_out.read_text())
+
+
+def test_run_config_conflicts_with_shape_flags(tmp_path):
+    cfg = tmp_path / "cfg.toml"
+    run_cli("config", "dump", "--output", str(cfg))
+    proc = run_cli("run", "--workload", "ligra.bfs", "--config", str(cfg),
+                   "--prefetcher", "spp", expect_rc=2)
+    assert b"cannot be combined with --config" in proc.stderr
+
+
+def test_config_paths_lists_override_keys():
+    proc = run_cli("config", "paths")
+    assert b"core.rob_size" in proc.stdout
+    assert b"hierarchy.llc.size_bytes" in proc.stdout
+
+
+def test_unknown_prefetcher_lists_available_names():
+    proc = run_cli("run", "--workload", "ligra.bfs", "--accesses", "500",
+                   "--prefetcher", "warp-drive", expect_rc=2)
+    assert b"unknown prefetcher" in proc.stderr
+    assert b"pythia" in proc.stderr
+    assert b"Traceback" not in proc.stderr
+
+
+def test_bad_override_fails_cleanly():
+    proc = run_cli("run", "--workload", "ligra.bfs",
+                   "--set", "core.rob_sizes=1", expect_rc=2)
+    assert b"unknown config key" in proc.stderr
+    assert b"rob_size" in proc.stderr
+
+
+def test_sweep_spec_runs_and_caches(tmp_path):
+    spec = tmp_path / "spec.toml"
+    spec.write_text("""
+spec_version = 1
+name = "cli-spec"
+accesses = 600
+workloads = ["spec06.stencil"]
+
+[base]
+prefetcher = "pythia"
+
+[[axes]]
+name = "system"
+[[axes.points]]
+label = "pythia"
+[[axes.points]]
+label = "pythia+hermes"
+[axes.points.set]
+offchip_predictor = "popet"
+"hermes.enabled" = true
+""")
+    out = tmp_path / "out.json"
+    cache = tmp_path / "cache"
+    args = ("sweep", "--spec", str(spec), "--cache-dir", str(cache),
+            "--output", str(out))
+    run_cli(*args)
+    payload = json.loads(out.read_text())
+    assert payload["spec"] == "cli-spec"
+    assert payload["jobs"] == 2
+    assert {row["config"] for row in payload["rows"]} == {
+        "pythia", "pythia+hermes"}
+    assert len(list(cache.glob("*.pkl"))) == 2
+    run_cli(*args)
+    assert json.loads(out.read_text()) == payload
+
+
+def test_sweep_spec_rejects_matrix_flags(tmp_path):
+    spec = tmp_path / "spec.toml"
+    spec.write_text("spec_version = 1\nname = \"x\"\n"
+                    "workloads = [\"ligra.bfs\"]\n")
+    proc = run_cli("sweep", "--spec", str(spec), "--prefetchers", "spp",
+                   expect_rc=2)
+    assert b"only apply to ad-hoc matrices" in proc.stderr

@@ -55,7 +55,7 @@ def test_factory_builds_every_predictor():
 
 
 def test_factory_rejects_unknown_name():
-    with pytest.raises(ValueError):
+    with pytest.raises(KeyError, match="available"):
         make_predictor("oracle-9000")
 
 

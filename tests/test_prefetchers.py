@@ -40,7 +40,7 @@ def test_factory_lists_and_builds_all():
 
 
 def test_factory_rejects_unknown():
-    with pytest.raises(ValueError):
+    with pytest.raises(KeyError, match="available"):
         make_prefetcher("not-a-prefetcher")
 
 

@@ -181,8 +181,11 @@ def test_component_registries_reject_redefinition():
 
 
 def test_registry_unknown_name():
-    with pytest.raises(ValueError, match="unknown"):
-        Registry("widget").create("nope")
+    """Unknown names raise KeyError listing the registered alternatives."""
+    registry = Registry("widget")
+    registry.register("gadget")(lambda: None)
+    with pytest.raises(KeyError, match="unknown widget 'nope'.*gadget"):
+        registry.create("nope")
 
 
 def test_predictor_spec_builds_through_registry():
