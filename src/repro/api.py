@@ -55,6 +55,12 @@ from repro.runner import (
     SimJob,
     SweepSpec,
 )
+from repro.report import (
+    REPORT_SCHEMA_VERSION,
+    FigureResult,
+    figure_ids,
+    get_figure,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate_stream, simulate_trace
@@ -79,6 +85,9 @@ __all__ = [
     # execution
     "run", "sweep",
     "SimulationResult", "simulate_trace", "simulate_stream",
+    # reporting
+    "REPORT_SCHEMA_VERSION", "FigureResult", "figure_ids", "get_figure",
+    "report",
 ]
 
 
@@ -123,3 +132,34 @@ def sweep(spec: Union[ExperimentSpec, SweepSpec, Sequence[SimJob]], *,
     if isinstance(spec, SweepSpec):
         return runner.run_sweep(spec)
     return runner.run(list(spec))
+
+
+def report(figures: Optional[Sequence[str]] = None, *,
+           out_dir: Union[str, Path] = "report",
+           parallel: bool = False,
+           max_workers: Optional[int] = None,
+           cache_dir: Optional[Union[str, Path]] = None,
+           accesses: Optional[int] = None,
+           per_category: Optional[int] = None,
+           categories: Optional[Sequence[str]] = None,
+           formats: Optional[Sequence[str]] = None) -> Any:
+    """Generate a paper-report artifact directory (CLI: ``repro report``).
+
+    ``figures`` is a list of figure ids (``api.figure_ids()`` lists
+    them; ``None`` = all, an empty list is an error).  The sizing and
+    execution keywords mirror the CLI flags of the same names.
+    Returns the :class:`~repro.report.generate.ReportSummary` with
+    per-figure artifact paths and the result-cache hit/miss counters.
+    """
+    from repro.experiments.common import ExperimentSetup
+    from repro.report.generate import generate_report
+    setup = ExperimentSetup(parallel=parallel, max_workers=max_workers,
+                            result_cache_dir=cache_dir)
+    if accesses is not None:
+        setup.num_accesses = accesses
+    if per_category is not None:
+        setup.per_category = per_category
+    if categories is not None:
+        setup.categories = list(categories)
+    return generate_report(figures, out_dir=out_dir, setup=setup,
+                           formats=formats)

@@ -13,6 +13,8 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import FORMATS  # stdlib-only import; keeps --help fast
+from repro.report.figures import FIGURE_RUNNERS  # stdlib-only spec metadata
+from repro.report.renderers import renderer_names  # stdlib-only registry
 
 PROG = "python -m repro"
 
@@ -151,38 +153,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 # repro sweep
 # ---------------------------------------------------------------------- #
 
-#: Figure/table name -> experiment runner attribute in repro.experiments.
-FIGURE_RUNNERS: Dict[str, str] = {
-    "fig02": "run_fig02_offchip_loads",
-    "fig03": "run_fig03_stall_cycles",
-    "fig04": "run_fig04_ideal_hermes",
-    "fig05": "run_fig05_offchip_rate",
-    "fig09": "run_fig09_accuracy_coverage",
-    "fig10": "run_fig10_feature_ablation",
-    "fig11": "run_fig11_feature_variability",
-    "fig12": "run_fig12_singlecore_speedup",
-    "fig13": "run_fig13_per_workload_speedup",
-    "fig14": "run_fig14_predictor_comparison",
-    "fig15": "run_fig15_stalls_and_overhead",
-    "fig16": "run_fig16_multicore",
-    "fig17a": "run_fig17a_bandwidth_sensitivity",
-    "fig17b": "run_fig17b_prefetcher_sensitivity",
-    "fig17c": "run_fig17c_issue_latency_sensitivity",
-    "fig17d": "run_fig17d_cache_latency_sensitivity",
-    "fig17e": "run_fig17e_activation_threshold",
-    "fig18": "run_fig18_power",
-    "fig19": "run_fig19_rob_size_sensitivity",
-    "fig20": "run_fig20_llc_size_sensitivity",
-    "fig21": "run_fig21_accuracy_by_prefetcher",
-    "fig22": "run_fig22_overhead_by_prefetcher",
-    "table3": "run_table3_storage",
-    "table6": "run_table6_storage",
-}
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a spec file, a figure runner, or an ad-hoc job matrix."""
-    import repro.experiments as experiments
     from repro.experiments.common import ExperimentSetup
 
     if args.spec is not None and args.figure is not None:
@@ -214,13 +186,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"{', '.join(ignored)} only apply to ad-hoc matrices; "
                 f"--figure {args.figure} runs the paper's own config matrix "
                 f"(drop --figure to sweep a custom matrix)")
-        runner = getattr(experiments, FIGURE_RUNNERS[args.figure])
-        if args.figure.startswith("table"):
-            # Storage tables are closed-form (no simulation), so the
-            # sizing/execution knobs have nothing to apply to.
-            payload = runner()
-        else:
-            payload = runner(setup=setup)
+        from repro.report.figures import get_figure
+        from repro.report.schema import canonical_payload
+        spec = get_figure(args.figure)
+        # Canonicalized up front (string keys, JSON primitives) so this
+        # output is byte-identical to the `repro report` payload section
+        # and round-trips through FigureResult.from_dict without loss —
+        # previously integer sweep axes (fig17a/c/e, fig19/20) were
+        # stringified only at dump time, so the two paths sorted their
+        # keys differently (numeric here, lexicographic there).
+        payload = canonical_payload(spec.run(setup))
         _emit_json({"figure": args.figure, "result": payload}, args.output)
         return 0
 
@@ -296,6 +271,55 @@ def _sweep_spec(args: argparse.Namespace) -> int:
         rows.append(row)
     _emit_json({"spec": spec.name, "jobs": len(rows), "rows": rows},
                args.output)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro report
+# ---------------------------------------------------------------------- #
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate paper-figure artifacts into a report directory.
+
+    Runs the selected figure runners (or all 24 with ``--all``) through
+    the report subsystem and writes one Markdown table, CSV, SVG chart
+    and schema-stamped JSON document per figure, plus an ``index.md``
+    linking everything.  Execution knobs mirror ``repro sweep``; with
+    ``--cache-dir`` a second run is served entirely from the result
+    cache (the final summary line prints the hit/miss counts).
+    """
+    from repro.experiments.common import ExperimentSetup
+    from repro.report.figures import figure_ids, get_figure
+    from repro.report.generate import generate_report
+
+    figures = _split_list(args.figure) if args.figure else []
+    if args.all:
+        if figures:
+            raise ValueError("--all and --figure are mutually exclusive")
+        figures = figure_ids()
+    if not figures:
+        raise ValueError("select figures with --figure fig12 --figure table3 "
+                         "(repeatable), or pass --all")
+    for figure_id in figures:
+        get_figure(figure_id)  # fail fast on typos, before any simulation
+
+    setup = ExperimentSetup(parallel=args.parallel,
+                            max_workers=args.max_workers,
+                            result_cache_dir=args.cache_dir)
+    if args.accesses is not None:
+        setup.num_accesses = args.accesses
+    if args.per_category is not None:
+        setup.per_category = args.per_category
+    if args.categories:
+        setup.categories = _split_list(args.categories)
+
+    formats = _split_list(args.formats) if args.formats else None
+    summary = generate_report(figures, out_dir=args.out_dir, setup=setup,
+                              formats=formats,
+                              log=lambda line: print(line, file=sys.stderr))
+    print(f"wrote {len(summary.artifacts)} figure(s) to "
+          f"{summary.out_dir}/index.md in {summary.elapsed_s:.1f}s",
+          file=sys.stderr)
     return 0
 
 
@@ -517,6 +541,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output", default="-",
                        help="JSON destination (default: stdout)")
     sweep.set_defaults(func=cmd_sweep)
+
+    # ---- report ------------------------------------------------------- #
+    report = subparsers.add_parser(
+        "report", help="regenerate paper-figure artifacts (Markdown/CSV/"
+                       "SVG/JSON per figure + index.md)")
+    report.add_argument("--figure", action="append", default=None,
+                        metavar="ID[,ID...]",
+                        help="figure/table id to include (repeatable; "
+                             "e.g. fig12, table3)")
+    report.add_argument("--all", action="store_true",
+                        help="include every paper figure/table")
+    report.add_argument("--out-dir", default="report",
+                        help="artifact directory (default: report/)")
+    report.add_argument("--formats", action="append", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="renderer subset (default: "
+                             f"{','.join(renderer_names())}; the JSON "
+                             "document is always written)")
+    report.add_argument("--accesses", type=int, default=None,
+                        help="accesses per workload (default: setup default)")
+    report.add_argument("--per-category", type=int, default=None,
+                        help="workloads taken per category (default: 2)")
+    report.add_argument("--categories", action="append", default=None,
+                        metavar="CAT[,CAT...]",
+                        help="restrict the suite selection to these "
+                             "categories")
+    report.add_argument("--parallel", action="store_true",
+                        help="fan each figure's job matrix out over a "
+                             "process pool")
+    report.add_argument("--max-workers", type=int, default=None,
+                        help="process-pool size (default: cpu count)")
+    report.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory shared across "
+                             "figures (a warm cache re-runs no simulation)")
+    report.set_defaults(func=cmd_report)
 
     # ---- trace -------------------------------------------------------- #
     trace = subparsers.add_parser(

@@ -20,8 +20,14 @@ def run_fig04_ideal_hermes(setup: Optional[ExperimentSetup] = None,
                            ) -> Dict[str, Dict[str, float]]:
     """Return speedups of prefetcher-only and prefetcher+Ideal-Hermes systems.
 
-    The first prefetcher in ``prefetchers`` (Pythia by default) also gets an
-    "ideal hermes alone" entry, matching Fig. 4(a).
+    Paper figure: Fig. 4.  Sweep axes: prefetcher ∈ ``prefetchers`` ×
+    Ideal-Hermes ∈ {off, on} × the setup's workload suite, plus the
+    no-prefetching baseline and an "ideal hermes alone" system matching
+    Fig. 4(a).
+
+    Payload: ``{"ideal-hermes-alone": {speedup}}`` plus one
+    ``{prefetcher: {prefetcher_only, prefetcher_plus_ideal_hermes}}``
+    row per prefetcher — geomean speedups over no-prefetching.
     """
     setup = setup or ExperimentSetup()
     matrix = {

@@ -21,8 +21,14 @@ from repro.sim.config import SystemConfig
 def run_fig02_offchip_loads(setup: Optional[ExperimentSetup] = None) -> Dict[str, Dict[str, float]]:
     """Off-chip load counts (blocking vs non-blocking) and MPKI, no-prefetch vs Pythia.
 
-    Returns ``{category: {...}}`` with per-category averages, normalised to
-    the no-prefetching system's off-chip load count as in the paper.
+    Paper figure: Fig. 2.  Sweep axes: system ∈ {no-prefetching, Pythia}
+    × the setup's workload suite.
+
+    Payload: ``{category: {noprefetch_blocking, noprefetch_nonblocking,
+    pythia_blocking, pythia_nonblocking, noprefetch_mpki, pythia_mpki}}``
+    plus an ``"AVG"`` row — per-category averages, with load counts
+    normalised to the no-prefetching system's off-chip total as in the
+    paper.
     """
     setup = setup or ExperimentSetup()
     results = run_matrix(setup, {
@@ -56,10 +62,15 @@ def run_fig02_offchip_loads(setup: Optional[ExperimentSetup] = None) -> Dict[str
 def run_fig03_stall_cycles(setup: Optional[ExperimentSetup] = None) -> Dict[str, Dict[str, float]]:
     """Average stall cycles per blocking off-chip load, and the on-chip share.
 
-    The paper reports 147.1 stall cycles on average, of which 40.1% could
-    be removed by taking the on-chip hierarchy off the critical path; the
-    shape to check here is a large stall count with a sizeable on-chip
-    share, growing for the irregular categories.
+    Paper figure: Fig. 3.  Sweep axes: the Pythia baseline alone × the
+    setup's workload suite.
+
+    Payload: ``{category: {stall_cycles_per_offchip_load, onchip_share}}``
+    plus an ``"AVG"`` row.  The paper reports 147.1 stall cycles on
+    average, of which 40.1% could be removed by taking the on-chip
+    hierarchy off the critical path; the shape to check here is a large
+    stall count with a sizeable on-chip share, growing for the irregular
+    categories.
     """
     setup = setup or ExperimentSetup()
     pythia = run_suite(setup, SystemConfig.baseline("pythia"))
@@ -86,7 +97,14 @@ def run_fig03_stall_cycles(setup: Optional[ExperimentSetup] = None) -> Dict[str,
 
 
 def run_fig05_offchip_rate(setup: Optional[ExperimentSetup] = None) -> Dict[str, Dict[str, float]]:
-    """Fraction of loads that go off-chip and LLC MPKI in the Pythia baseline."""
+    """Fraction of loads that go off-chip and LLC MPKI in the Pythia baseline.
+
+    Paper figure: Fig. 5.  Sweep axes: the Pythia baseline alone × the
+    setup's workload suite.
+
+    Payload: ``{category: {offchip_load_fraction, llc_mpki}}`` plus an
+    ``"AVG"`` row — the "small positive class" motivation for POPET.
+    """
     setup = setup or ExperimentSetup()
     pythia = run_suite(setup, SystemConfig.baseline("pythia"))
 

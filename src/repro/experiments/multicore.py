@@ -18,10 +18,15 @@ def run_fig16_multicore(num_cores: int = 8, num_mixes: int = 3,
                         setup: Optional[ExperimentSetup] = None) -> Dict[str, float]:
     """Geomean throughput speedup of Pythia + Hermes-{HMP,TTP,POPET} over no-prefetching.
 
-    Uses heterogeneous multi-programmed mixes (one workload per core) over a
-    shared LLC and the paper's 4-channel eight-core memory system.  ``setup``
-    only supplies execution knobs (``parallel``/``max_workers``/caching);
-    mix sizing comes from the explicit arguments.
+    Paper figure: Fig. 16.  Sweep axes: system ∈ {no-prefetching,
+    Pythia, Pythia+Hermes-<predictor> for each of ``predictors``} ×
+    ``num_mixes`` seeded multi-programmed mixes of ``num_cores``
+    workloads each (one per core, shared LLC, the paper's 4-channel
+    eight-core memory system).
+
+    Payload: ``{system: geomean_throughput_speedup}`` (flat).  ``setup``
+    only supplies execution knobs (``parallel``/``max_workers``/
+    caching); mix sizing comes from the explicit arguments.
     """
     setup = setup or ExperimentSetup()
     mixes = multicore_mix_names(num_cores=num_cores, num_mixes=num_mixes,

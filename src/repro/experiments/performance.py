@@ -32,7 +32,15 @@ def _standard_configs() -> Dict[str, SystemConfig]:
 
 def run_fig12_singlecore_speedup(setup: Optional[ExperimentSetup] = None,
                                  ) -> Dict[str, Dict[str, float]]:
-    """Per-category geomean speedup of the Fig. 12 systems over no-prefetching."""
+    """Per-category geomean speedup of the Fig. 12 systems over no-prefetching.
+
+    Paper figure: Fig. 12 (the headline result).  Sweep axes: system ∈
+    {Hermes-P, Hermes-O, Pythia, Pythia+Hermes-P, Pythia+Hermes-O} ×
+    the setup's workload suite, plus the no-prefetching baseline.
+
+    Payload: ``{system: {category: geomean_speedup}}`` with a
+    ``"GEOMEAN"`` entry per system.
+    """
     setup = setup or ExperimentSetup()
     matrix = {"baseline": SystemConfig.no_prefetching()}
     matrix.update(_standard_configs())
@@ -44,7 +52,15 @@ def run_fig12_singlecore_speedup(setup: Optional[ExperimentSetup] = None,
 
 def run_fig13_per_workload_speedup(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[str, Dict[str, float]]:
-    """Per-workload speedups of Hermes, Pythia and Pythia+Hermes (Fig. 13 line graph)."""
+    """Per-workload speedups of Hermes, Pythia and Pythia+Hermes (Fig. 13 line graph).
+
+    Paper figure: Fig. 13.  Sweep axes: system ∈ {Hermes-O, Pythia,
+    Pythia+Hermes-O} × the setup's workload suite, plus the
+    no-prefetching baseline.
+
+    Payload: ``{workload: {system: speedup}}`` — one point per
+    (workload, system), no aggregation.
+    """
     setup = setup or ExperimentSetup()
     results = run_matrix(setup, {
         "baseline": SystemConfig.no_prefetching(),
@@ -65,7 +81,15 @@ def run_fig14_predictor_comparison(setup: Optional[ExperimentSetup] = None,
                                    predictors: Sequence[str] = ("hmp", "ttp", "popet",
                                                                 "ideal"),
                                    ) -> Dict[str, float]:
-    """Geomean speedup of Pythia + Hermes-{HMP, TTP, POPET, Ideal} over no-prefetching."""
+    """Geomean speedup of Pythia + Hermes-{HMP, TTP, POPET, Ideal} over no-prefetching.
+
+    Paper figure: Fig. 14.  Sweep axes: off-chip predictor ∈
+    ``predictors`` (on top of Pythia) × the setup's workload suite,
+    plus Pythia alone and the no-prefetching baseline.
+
+    Payload: ``{"pythia" | "pythia+hermes-<predictor>":
+    geomean_speedup}`` (flat).
+    """
     setup = setup or ExperimentSetup()
     matrix = {
         "baseline": SystemConfig.no_prefetching(),
@@ -81,7 +105,16 @@ def run_fig14_predictor_comparison(setup: Optional[ExperimentSetup] = None,
 
 def run_fig15_stalls_and_overhead(setup: Optional[ExperimentSetup] = None,
                                   ) -> Dict[str, float]:
-    """Fig. 15(a): stall-cycle reduction of Hermes; Fig. 15(b): memory-request overhead."""
+    """Fig. 15(a): stall-cycle reduction of Hermes; Fig. 15(b): memory-request overhead.
+
+    Paper figure: Fig. 15.  Sweep axes: system ∈ {no-prefetching,
+    Pythia, Pythia+Hermes, Hermes alone} × the setup's workload suite.
+
+    Payload (flat): ``{stall_reduction_pct_vs_pythia,
+    memory_overhead_pct_hermes, memory_overhead_pct_pythia,
+    memory_overhead_pct_pythia_hermes}`` — percentages (paper: 5.5% for
+    Hermes vs 38.5% for Pythia).
+    """
     setup = setup or ExperimentSetup()
     results = run_matrix(setup, {
         "noprefetch": SystemConfig.no_prefetching(),
@@ -102,7 +135,15 @@ def run_fig15_stalls_and_overhead(setup: Optional[ExperimentSetup] = None,
 
 
 def run_fig18_power(setup: Optional[ExperimentSetup] = None) -> Dict[str, float]:
-    """Runtime dynamic power of Hermes / Pythia / Pythia+Hermes vs no-prefetching."""
+    """Runtime dynamic power of Hermes / Pythia / Pythia+Hermes vs no-prefetching.
+
+    Paper figure: Fig. 18.  Sweep axes: system ∈ {no-prefetching,
+    Hermes, Pythia, Pythia+Hermes} × the setup's workload suite, fed
+    through the analytical :class:`~repro.analysis.power.PowerModel`.
+
+    Payload: ``{system: relative_dynamic_power}`` (flat; the
+    no-prefetching baseline is 1.0 by construction).
+    """
     setup = setup or ExperimentSetup()
     model = PowerModel()
     results = run_matrix(setup, {
@@ -124,7 +165,16 @@ def run_fig22_overhead_by_prefetcher(setup: Optional[ExperimentSetup] = None,
                                      prefetchers: Sequence[str] = ("pythia", "bingo",
                                                                    "spp", "mlop", "sms"),
                                      ) -> Dict[str, Dict[str, float]]:
-    """Main-memory request overhead of each prefetcher alone and with Hermes."""
+    """Main-memory request overhead of each prefetcher alone and with Hermes.
+
+    Paper figure: Fig. 22.  Sweep axes: prefetcher ∈ ``prefetchers`` ×
+    Hermes ∈ {off, on} × the setup's workload suite, plus the
+    no-prefetching baseline.
+
+    Payload: ``{prefetcher: {prefetcher_pct,
+    prefetcher_plus_hermes_pct}}`` — average % increase in main-memory
+    requests over no-prefetching.
+    """
     setup = setup or ExperimentSetup()
     matrix = {"noprefetch": SystemConfig.no_prefetching()}
     for prefetcher in prefetchers:

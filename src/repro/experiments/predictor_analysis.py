@@ -44,7 +44,12 @@ def run_fig09_accuracy_coverage(setup: Optional[ExperimentSetup] = None,
                                 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Accuracy and coverage of each predictor, per category and on average.
 
-    Returns ``{predictor: {category: {"accuracy": .., "coverage": ..}}}``.
+    Paper figure: Fig. 9.  Sweep axes: off-chip predictor ∈
+    ``predictors`` (on top of ``prefetcher``) × the setup's workload
+    suite.
+
+    Payload: ``{predictor: {category: {accuracy, coverage}}}`` with an
+    ``"AVG"`` category per predictor.
     """
     setup = setup or ExperimentSetup()
     by_predictor = run_matrix(setup, {
@@ -77,7 +82,16 @@ def _popet_spec(features: Sequence[str]) -> PredictorSpec:
 
 def run_fig10_feature_ablation(setup: Optional[ExperimentSetup] = None,
                                prefetcher: str = "pythia") -> Dict[str, Dict[str, float]]:
-    """Accuracy/coverage of POPET with individual features and stacked combinations."""
+    """Accuracy/coverage of POPET with individual features and stacked combinations.
+
+    Paper figure: Fig. 10.  Sweep axes: POPET feature set ∈ {each of
+    the five selected features alone, cumulative top-k stacks, all
+    five} × the setup's workload suite, declared as
+    :class:`~repro.runner.job.PredictorSpec` variants.
+
+    Payload: ``{feature_set_label: {accuracy, coverage}}`` — suite
+    averages, in the paper's presentation order.
+    """
     setup = setup or ExperimentSetup()
     # Individual features first, then cumulative combinations, then full POPET
     # — the same presentation as Fig. 10.
@@ -108,8 +122,12 @@ def run_fig11_feature_variability(setup: Optional[ExperimentSetup] = None,
                                   ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Per-workload accuracy/coverage of each individual feature.
 
-    Returns ``{workload: {feature: {"accuracy": .., "coverage": ..}}}`` —
-    the data behind the claim that no single feature is best everywhere.
+    Paper figure: Fig. 11.  Sweep axes: POPET feature ∈ the five
+    selected features (one-feature variants) × the setup's workload
+    suite.
+
+    Payload: ``{workload: {feature: {accuracy, coverage}}}`` — the data
+    behind the claim that no single feature is best everywhere.
     """
     setup = setup or ExperimentSetup()
     config = SystemConfig.with_hermes("popet", prefetcher=prefetcher)
@@ -134,7 +152,15 @@ def run_fig21_accuracy_by_prefetcher(setup: Optional[ExperimentSetup] = None,
                                                                    "spp", "mlop",
                                                                    "sms", "none"),
                                      ) -> Dict[str, Dict[str, float]]:
-    """POPET accuracy/coverage when combined with different baseline prefetchers."""
+    """POPET accuracy/coverage when combined with different baseline prefetchers.
+
+    Paper figure: Fig. 21.  Sweep axes: baseline prefetcher ∈
+    ``prefetchers`` (including "none" = Hermes alone) × the setup's
+    workload suite.
+
+    Payload: ``{"<prefetcher>+hermes" | "hermes alone": {accuracy,
+    coverage}}`` — suite averages.
+    """
     setup = setup or ExperimentSetup()
     labels = {
         prefetcher: (f"{prefetcher}+hermes" if prefetcher != "none"

@@ -50,7 +50,16 @@ def _run_spec(setup: ExperimentSetup,
 def run_fig17a_bandwidth_sensitivity(setup: Optional[ExperimentSetup] = None,
                                      mtps_values: Sequence[int] = (800, 1600, 3200, 6400),
                                      ) -> Dict[int, Dict[str, float]]:
-    """Speedups while scaling main-memory bandwidth (MTPS sweep, Fig. 17a)."""
+    """Speedups while scaling main-memory bandwidth (MTPS sweep, Fig. 17a).
+
+    Paper figure: Fig. 17a.  Sweep axes: memory bandwidth ∈
+    ``mtps_values`` × system ∈ {baseline, Hermes, Pythia,
+    Pythia+Hermes} × the setup's workload suite (the baseline is
+    re-run at each bandwidth).
+
+    Payload: ``{mtps: {hermes, pythia, "pythia+hermes"}}`` — geomean
+    speedups over the same-bandwidth no-prefetching baseline.
+    """
     setup = setup or ExperimentSetup()
     matrix: Dict[str, ConfigEntry] = {}
     for mtps in mtps_values:
@@ -78,7 +87,14 @@ def run_fig17b_prefetcher_sensitivity(setup: Optional[ExperimentSetup] = None,
                                       prefetchers: Sequence[str] = ("pythia", "bingo",
                                                                     "spp", "mlop", "sms"),
                                       ) -> Dict[str, Dict[str, float]]:
-    """Hermes-P/O on top of each baseline prefetcher (Fig. 17b)."""
+    """Hermes-P/O on top of each baseline prefetcher (Fig. 17b).
+
+    Paper figure: Fig. 17b.  Sweep axes: prefetcher ∈ ``prefetchers``
+    × Hermes ∈ {off, Hermes-P, Hermes-O} × the setup's workload suite.
+
+    Payload: ``{prefetcher: {prefetcher_only, "prefetcher+hermes-P",
+    "prefetcher+hermes-O"}}`` — geomean speedups over no-prefetching.
+    """
     setup = setup or ExperimentSetup()
     matrix: Dict[str, ConfigEntry] = {"baseline": SystemConfig.no_prefetching()}
     for prefetcher in prefetchers:
@@ -105,7 +121,16 @@ def run_fig17b_prefetcher_sensitivity(setup: Optional[ExperimentSetup] = None,
 def run_fig17c_issue_latency_sensitivity(setup: Optional[ExperimentSetup] = None,
                                          latencies: Sequence[int] = (0, 6, 12, 18, 24),
                                          ) -> Dict[int, Dict[str, float]]:
-    """Speedup as the Hermes request issue latency varies (Fig. 17c)."""
+    """Speedup as the Hermes request issue latency varies (Fig. 17c).
+
+    Paper figure: Fig. 17c.  Sweep axes: Hermes issue latency ∈
+    ``latencies`` (Pythia+Hermes) × the setup's workload suite, with
+    shared baseline and Pythia-only runs.
+
+    Payload: ``{latency: {pythia, "pythia+hermes"}}`` — geomean
+    speedups over no-prefetching (the Pythia series is constant across
+    latencies by construction).
+    """
     setup = setup or ExperimentSetup()
     matrix: Dict[str, ConfigEntry] = {
         "baseline": SystemConfig.no_prefetching(),
@@ -129,7 +154,16 @@ def run_fig17c_issue_latency_sensitivity(setup: Optional[ExperimentSetup] = None
 def run_fig17d_cache_latency_sensitivity(setup: Optional[ExperimentSetup] = None,
                                          llc_latencies: Sequence[int] = (40, 55, 65),
                                          ) -> Dict[int, Dict[str, float]]:
-    """Speedup as the on-chip hierarchy (LLC) access latency varies (Fig. 17d)."""
+    """Speedup as the on-chip hierarchy (LLC) access latency varies (Fig. 17d).
+
+    Paper figure: Fig. 17d.  Sweep axes: LLC latency ∈
+    ``llc_latencies`` × system ∈ {baseline, Pythia, Pythia+Hermes} ×
+    the setup's workload suite (the baseline is re-run at each
+    latency).
+
+    Payload: ``{llc_latency: {pythia, "pythia+hermes"}}`` — geomean
+    speedups over the same-latency no-prefetching baseline.
+    """
     setup = setup or ExperimentSetup()
     matrix: Dict[str, ConfigEntry] = {}
     for latency in llc_latencies:
@@ -155,7 +189,16 @@ def run_fig17e_activation_threshold(setup: Optional[ExperimentSetup] = None,
                                     thresholds: Sequence[int] = (-30, -26, -22, -18,
                                                                  -10, -2),
                                     ) -> Dict[int, Dict[str, float]]:
-    """POPET accuracy/coverage and Hermes speedup vs the activation threshold."""
+    """POPET accuracy/coverage and Hermes speedup vs the activation threshold.
+
+    Paper figure: Fig. 17e.  Sweep axes: POPET activation threshold ∈
+    ``thresholds`` (declared as :class:`~repro.runner.job.
+    PredictorSpec` variants on Pythia+Hermes) × the setup's workload
+    suite, plus the no-prefetching baseline.
+
+    Payload: ``{threshold: {accuracy, coverage, speedup}}`` — suite
+    averages.
+    """
     setup = setup or ExperimentSetup()
     config = SystemConfig.with_hermes("popet", prefetcher="pythia")
     matrix: Dict[str, ConfigEntry] = {"baseline": SystemConfig.no_prefetching()}
@@ -181,9 +224,14 @@ def run_fig19_rob_size_sensitivity(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[int, Dict[str, float]]:
     """Speedup sensitivity to the reorder-buffer size (Fig. 19).
 
-    Declared through the spec API: a (system x ROB-size) axis
-    cross-product — exactly what a TOML spec file with the same axes
-    expands to.
+    Paper figure: Fig. 19.  Sweep axes: ROB size ∈ ``rob_sizes`` ×
+    system ∈ {baseline, Hermes, Pythia, Pythia+Hermes} × the setup's
+    workload suite — declared through the spec API: a (system ×
+    ROB-size) axis cross-product, exactly what a TOML spec file with
+    the same axes expands to.
+
+    Payload: ``{rob_size: {hermes, pythia, "pythia+hermes"}}`` —
+    geomean speedups over the same-ROB no-prefetching baseline.
     """
     setup = setup or ExperimentSetup()
     spec = ExperimentSpec(
@@ -209,9 +257,15 @@ def run_fig20_llc_size_sensitivity(setup: Optional[ExperimentSetup] = None,
                                    ) -> Dict[float, Dict[str, float]]:
     """Speedup sensitivity to the per-core LLC size (Fig. 20).
 
-    Spec-driven like :func:`run_fig19_rob_size_sensitivity`, with the
-    LLC capacity expressed as the ``hierarchy.llc.size_bytes`` override
-    a TOML axis would use.
+    Paper figure: Fig. 20.  Sweep axes: LLC size ∈ ``llc_sizes_mb`` ×
+    system ∈ {baseline, Hermes, Pythia, Pythia+Hermes} × the setup's
+    workload suite — spec-driven like
+    :func:`run_fig19_rob_size_sensitivity`, with the LLC capacity
+    expressed as the ``hierarchy.llc.size_bytes`` override a TOML axis
+    would use.
+
+    Payload: ``{llc_size_mb: {hermes, pythia, "pythia+hermes"}}`` —
+    geomean speedups over the same-size no-prefetching baseline.
     """
     setup = setup or ExperimentSetup()
     spec = ExperimentSpec(

@@ -10,13 +10,27 @@ from repro.prefetchers.factory import make_prefetcher
 
 
 def run_table3_storage() -> Dict[str, float]:
-    """Hermes storage breakdown in KB (paper Table 3: 4 KB total per core)."""
+    """Hermes storage breakdown in KB (paper Table 3: 4 KB total per core).
+
+    Paper table: Table 3.  No sweep — closed-form accounting over the
+    default POPET structures (no simulation, no ``ExperimentSetup``).
+
+    Payload: ``{weight_tables_kb, page_buffer_kb, lq_metadata_kb,
+    total_kb}`` (flat, kilobytes).
+    """
     popet = POPET()
     return popet.storage_breakdown()
 
 
 def run_table6_storage() -> Dict[str, float]:
-    """Storage (KB) of every evaluated mechanism (paper Table 6)."""
+    """Storage (KB) of every evaluated mechanism (paper Table 6).
+
+    Paper table: Table 6.  No sweep — instantiates each predictor
+    (HMP, TTP, POPET) and prefetcher (Pythia, Bingo, SPP, MLOP, SMS)
+    and reads its ``storage_kb`` accounting (no simulation).
+
+    Payload: ``{mechanism: storage_kb}`` (flat, kilobytes).
+    """
     table: Dict[str, float] = {}
     for name in ("hmp", "ttp"):
         table[name.upper()] = make_predictor(name).storage_kb

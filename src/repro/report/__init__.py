@@ -1,0 +1,76 @@
+"""Results-and-reporting subsystem: every experiment a durable artifact.
+
+Layers (DESIGN.md §10):
+
+* :mod:`repro.report.schema` — the normalized :class:`FigureResult`
+  document (strict round-trip under ``REPORT_SCHEMA_VERSION``).
+* :mod:`repro.report.figures` — one :class:`FigureSpec` adapter per
+  paper figure/table, wrapping the ``run_fig*``/``run_table*`` runners
+  without changing their return values.
+* :mod:`repro.report.renderers` — registry-discovered Markdown/CSV/SVG
+  renderers (plus :mod:`repro.report.svg`, the dependency-free chart
+  backend).
+* :mod:`repro.report.generate` — ``generate_report``: run figures,
+  write a self-contained ``report/`` directory with an ``index.md``.
+
+Importing this package is deliberately cheap (schema + spec metadata
+only); the simulator import chain loads when a figure actually runs.
+``repro report`` is the CLI face, and ``tools/gen_experiments_index.py``
+regenerates the EXPERIMENTS.md figure index from the same specs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.report.figures import (
+    FIGURE_RUNNERS,
+    FigureSpec,
+    figure_ids,
+    get_figure,
+    register_figure,
+)
+from repro.report.renderers import (
+    ReportRenderer,
+    make_renderer,
+    register_renderer,
+    renderer_names,
+    report_renderers,
+)
+from repro.report.schema import (
+    REPORT_SCHEMA_VERSION,
+    FigureResult,
+    ReportSchemaError,
+    canonical_payload,
+)
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "FigureResult",
+    "ReportSchemaError",
+    "canonical_payload",
+    "FigureSpec",
+    "FIGURE_RUNNERS",
+    "figure_ids",
+    "get_figure",
+    "register_figure",
+    "ReportRenderer",
+    "report_renderers",
+    "register_renderer",
+    "renderer_names",
+    "make_renderer",
+    "generate_report",
+]
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily expose :func:`generate_report` (PEP 562).
+
+    ``repro.report.generate`` pulls in the full experiment/simulator
+    import chain; deferring it keeps ``import repro.report`` (and the
+    CLI's ``--figure`` choices) cheap.
+    """
+    if name == "generate_report":
+        from repro.report.generate import generate_report
+        return generate_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,184 @@
+"""One-command report generation: figures -> a self-contained artifact dir.
+
+:func:`generate_report` runs any subset of the paper's figures/tables
+through their :class:`~repro.report.figures.FigureSpec` adapters and
+writes, per figure, one file per renderer (``fig12.md``, ``fig12.csv``,
+``fig12.svg``, ...) plus the schema-stamped ``fig12.json`` document,
+and finally an ``index.md`` linking every artifact.  Everything in the
+output directory is deterministic text — no timestamps, no hostnames —
+so two report runs over the same results diff clean.
+
+Execution rides the existing runner stack: the caller's
+:class:`~repro.experiments.common.ExperimentSetup` decides serial vs
+process-pool fan-out, and when a ``result_cache_dir`` is set the report
+holds **one** :class:`~repro.runner.cache.ResultCache` across all
+figures (rather than one per sweep), so cross-figure duplicate jobs
+(e.g. the Pythia baseline suite, which a dozen figures share) are
+computed once, and a re-run against a warm cache directory executes no
+simulation at all — the cache hit/miss counters in the returned
+:class:`ReportSummary` prove it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.common import ExperimentSetup
+from repro.report.figures import FigureSpec, figure_ids, get_figure
+from repro.report.renderers import ReportRenderer, make_renderer, renderer_names
+from repro.report.schema import FigureResult
+from repro.runner import JobRunner, ResultCache
+
+#: Progress callback: called with one human-readable line per event.
+LogFn = Callable[[str], None]
+
+
+class _SharedCacheSetup(ExperimentSetup):
+    """An :class:`ExperimentSetup` whose runners share one ResultCache.
+
+    ``ExperimentSetup.runner()`` builds a fresh cache per sweep, which
+    is correct but resets the hit/miss counters each figure; the report
+    wants one cache (and one set of counters) across the whole run.
+    """
+
+    #: The report-wide cache (set by :meth:`wrap`; None = caching off).
+    shared_cache: Optional[ResultCache] = None
+
+    def runner(self) -> JobRunner:
+        """A job runner backed by the report-wide shared cache."""
+        return JobRunner(backend=self.make_backend(),
+                         result_cache=self.shared_cache)
+
+    @classmethod
+    def wrap(cls, setup: ExperimentSetup) -> "_SharedCacheSetup":
+        """A shared-cache copy of ``setup`` (the original is untouched).
+
+        Copies every dataclass field, so knobs added to
+        ``ExperimentSetup`` later flow through without touching this
+        method.
+        """
+        wrapped = cls(**{field.name: getattr(setup, field.name)
+                         for field in dataclasses.fields(ExperimentSetup)})
+        wrapped.shared_cache = (ResultCache(setup.result_cache_dir)
+                                if setup.result_cache_dir is not None
+                                else None)
+        return wrapped
+
+
+@dataclass
+class FigureArtifact:
+    """The on-disk artifacts of one rendered figure."""
+
+    figure_id: str
+    title: str
+    #: Renderer name -> written file path (plus the ``json`` document).
+    files: Dict[str, Path]
+    elapsed_s: float
+
+
+@dataclass
+class ReportSummary:
+    """What a report run produced, and how the result cache behaved."""
+
+    out_dir: Path
+    artifacts: List[FigureArtifact] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def index_path(self) -> Path:
+        """The report's entry page."""
+        return self.out_dir / "index.md"
+
+
+def _index_markdown(artifacts: Sequence[FigureArtifact],
+                    renderers: Sequence[ReportRenderer]) -> str:
+    """The ``index.md`` text linking every figure's artifacts."""
+    lines: List[str] = []
+    lines.append("# Paper report")
+    lines.append("")
+    lines.append(f"{len(artifacts)} figure/table artifact(s), regenerable "
+                 "with `repro report` (see docs/REPRODUCING.md).  Every "
+                 "number below links to the same normalized figure-result "
+                 "document rendered three ways; the `.json` file is the "
+                 "source of truth.")
+    lines.append("")
+    columns = [renderer.name for renderer in renderers] + ["json"]
+    lines.append("| figure | what it shows | " + " | ".join(columns) + " |")
+    lines.append("|---|---|" + "---|" * len(columns))
+    for artifact in artifacts:
+        links = []
+        for name in columns:
+            path = artifact.files.get(name)
+            links.append(f"[{name}]({path.name})" if path is not None else "—")
+        lines.append(f"| {artifact.figure_id} | {artifact.title} | "
+                     + " | ".join(links) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def generate_report(figures: Optional[Sequence[str]] = None,
+                    out_dir: Union[str, Path] = "report",
+                    setup: Optional[ExperimentSetup] = None,
+                    formats: Optional[Sequence[str]] = None,
+                    log: Optional[LogFn] = None) -> ReportSummary:
+    """Run figures and write a self-contained ``report/`` directory.
+
+    ``figures`` is a list of figure ids (``None`` = all 24, in paper
+    order; an explicitly empty list is an error, never "everything");
+    duplicates collapse to one run, and unknown ids fail fast before
+    any simulation runs.  ``formats`` selects renderers by registry
+    name (default: all).  Returns a :class:`ReportSummary` with
+    per-figure artifacts and the aggregate result-cache counters.
+    """
+    if figures is None:
+        requested = figure_ids()
+    else:
+        requested = list(dict.fromkeys(figures))
+        if not requested:
+            raise ValueError("generate_report() got an empty figure list; "
+                             "pass None to run every figure")
+    specs: List[FigureSpec] = [get_figure(figure_id)
+                               for figure_id in requested]
+    renderers = [make_renderer(name)
+                 for name in (formats if formats else renderer_names())]
+    setup = _SharedCacheSetup.wrap(setup or ExperimentSetup())
+    emit: LogFn = log or (lambda line: None)
+
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+
+    summary = ReportSummary(out_dir=out_path)
+    started = time.perf_counter()
+    for spec in specs:
+        figure_started = time.perf_counter()
+        emit(f"{spec.figure_id}: running {spec.runner_name} ...")
+        result: FigureResult = spec.collect(setup)
+        files: Dict[str, Path] = {}
+        for renderer in renderers:
+            path = out_path / f"{spec.figure_id}.{renderer.extension}"
+            path.write_text(renderer.render(result), encoding="utf-8")
+            files[renderer.name] = path
+        json_path = out_path / f"{spec.figure_id}.json"
+        json_path.write_text(result.to_json(), encoding="utf-8")
+        files["json"] = json_path
+        elapsed = time.perf_counter() - figure_started
+        summary.artifacts.append(FigureArtifact(
+            figure_id=spec.figure_id, title=spec.title, files=files,
+            elapsed_s=elapsed))
+        emit(f"{spec.figure_id}: {len(files)} artifact(s) in {elapsed:.1f}s")
+
+    summary.index_path.write_text(_index_markdown(summary.artifacts,
+                                                  renderers),
+                                  encoding="utf-8")
+    if setup.shared_cache is not None:
+        summary.cache_hits = setup.shared_cache.hits
+        summary.cache_misses = setup.shared_cache.misses
+        emit(f"result cache: {summary.cache_hits} hit(s), "
+             f"{summary.cache_misses} miss(es)")
+    summary.elapsed_s = time.perf_counter() - started
+    return summary

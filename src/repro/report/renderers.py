@@ -1,0 +1,152 @@
+"""Registry-discovered artifact renderers for figure results.
+
+Three ship out of the box, registered on the same decorator machinery
+as trace formats and prefetchers (:mod:`repro.registry`):
+
+``markdown``
+    A human-readable page: the data as a pipe table (x rows, series
+    columns) plus the derived per-series summary metrics.
+``csv``
+    The same table as machine-readable CSV (empty cell = no data point,
+    e.g. Fig. 4's sparse rows).
+``svg``
+    A standalone bar/line chart (:mod:`repro.report.svg`).
+
+A custom renderer plugs in with::
+
+    from repro.report.renderers import register_renderer, ReportRenderer
+
+    @register_renderer("html")
+    class HTMLRenderer(ReportRenderer):
+        name = "html"
+        extension = "html"
+        def render(self, result): ...
+
+and immediately becomes selectable via ``repro report --formats html``.
+All renderers are pure text functions of the :class:`FigureResult`
+document — no clocks, no randomness — so rendered artifacts are
+byte-stable and golden-testable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.registry import Registry
+from repro.report.schema import REPORT_SCHEMA_VERSION, FigureResult
+from repro.report.svg import render_svg
+
+
+def format_value(value: float) -> str:
+    """Deterministic cell formatting (6 significant digits)."""
+    return format(value, ".6g")
+
+
+class ReportRenderer(ABC):
+    """A pure ``FigureResult -> text`` artifact renderer."""
+
+    #: Registry name (also the ``--formats`` token).
+    name: str = ""
+    #: File extension of the rendered artifact (no dot).
+    extension: str = ""
+
+    @abstractmethod
+    def render(self, result: FigureResult) -> str:
+        """The complete artifact text for one figure result."""
+
+
+#: The process-wide renderer registry (name -> ReportRenderer subclass).
+report_renderers: Registry[ReportRenderer] = Registry("report renderer")
+
+#: Decorator registering a :class:`ReportRenderer` subclass by name.
+register_renderer = report_renderers.register
+
+
+def renderer_names() -> List[str]:
+    """All registered renderer names, sorted."""
+    return report_renderers.names()
+
+
+def make_renderer(name: str) -> ReportRenderer:
+    """Instantiate the renderer registered under ``name`` (loud on typos)."""
+    return report_renderers.create(name)
+
+
+@register_renderer("markdown")
+class MarkdownRenderer(ReportRenderer):
+    """Markdown page: metadata, the data table, derived metrics."""
+
+    name = "markdown"
+    extension = "md"
+
+    def render(self, result: FigureResult) -> str:
+        """The figure as a standalone Markdown document."""
+        lines: List[str] = []
+        lines.append(f"# {result.figure_id} — {result.title}")
+        lines.append("")
+        lines.append(f"- chart: {result.chart}")
+        lines.append(f"- x: {result.x_label}")
+        lines.append(f"- y: {result.y_label}")
+        lines.append(f"- schema: v{REPORT_SCHEMA_VERSION}")
+        lines.append("")
+        header = [result.x_label] + result.series
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" + "---:|" * len(result.series))
+        for x in result.x_values:
+            row = [x]
+            for series in result.series:
+                value = result.value(series, x)
+                row.append("—" if value is None else format_value(value))
+            lines.append("| " + " | ".join(row) + " |")
+        if result.derived:
+            lines.append("")
+            lines.append("## Derived metrics")
+            lines.append("")
+            lines.append("| series | mean | geomean |")
+            lines.append("|---|---:|---:|")
+            for series in result.series:
+                mean = result.derived.get(f"{series}.mean")
+                geomean = result.derived.get(f"{series}.geomean")
+                lines.append(
+                    "| " + " | ".join([
+                        series,
+                        "—" if mean is None else format_value(mean),
+                        "—" if geomean is None else format_value(geomean),
+                    ]) + " |")
+        return "\n".join(lines) + "\n"
+
+
+@register_renderer("csv")
+class CSVRenderer(ReportRenderer):
+    """The data table as CSV (header row: x label, then series names)."""
+
+    name = "csv"
+    extension = "csv"
+
+    def render(self, result: FigureResult) -> str:
+        """The figure's table as CSV text with a ``\\n`` line terminator."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow([result.x_label] + result.series)
+        for x in result.x_values:
+            row: List[str] = [x]
+            for series in result.series:
+                value = result.value(series, x)
+                row.append("" if value is None else format_value(value))
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+@register_renderer("svg")
+class SVGRenderer(ReportRenderer):
+    """Standalone SVG bar/line chart (see :mod:`repro.report.svg`)."""
+
+    name = "svg"
+    extension = "svg"
+
+    def render(self, result: FigureResult) -> str:
+        """The figure as a complete SVG document."""
+        return render_svg(result)

@@ -1,0 +1,292 @@
+"""Dependency-free SVG bar/line chart rendering for figure results.
+
+Hand-written on purpose: the report's promise is that a clean checkout
+with zero third-party packages regenerates every artifact, so charts
+cannot depend on matplotlib.  The output is deterministic text — fixed
+fonts, fixed palette, coordinates rounded to 1/100 px, no timestamps or
+random ids — so golden-file tests and ``diff`` over two ``report/``
+directories both work.
+
+The visual rules follow the standard chart-design gates: a fixed-order
+categorical palette validated for color-vision-deficiency separation
+(never cycled — figures with more series than palette slots foreground
+a declared subset, and the Markdown/CSV artifacts carry every series),
+thin marks on a quiet grid, a legend whenever two or more series are
+drawn, and all text in neutral ink rather than series colors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.report.schema import FigureResult
+
+#: Fixed-order categorical palette (light surface), CVD-validated for
+#: adjacent pairs.  Never cycled: at most ``len(PALETTE)`` series are
+#: drawn (see :func:`_drawn_series`).
+PALETTE = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+           "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e7e6e2"
+AXIS = "#c8c7c2"
+FONT = "system-ui, -apple-system, 'Segoe UI', sans-serif"
+
+#: Approximate glyph advance at 11px, for layout estimates only.
+_CHAR_W = 6.2
+
+
+def _fmt(value: float) -> str:
+    """Deterministic numeric label formatting (up to 4 significant digits)."""
+    text = format(value, ".4g")
+    return text
+
+
+def _coord(value: float) -> str:
+    """A coordinate rounded to 1/100 px, without trailing zeros."""
+    return format(round(value, 2), "g")
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _nice_step(raw: float) -> float:
+    """The smallest 1/2/2.5/5 x 10^k step not below ``raw``."""
+    if raw <= 0:
+        return 1.0
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if raw <= multiple * magnitude:
+            return multiple * magnitude
+    return 10.0 * magnitude
+
+
+def _ticks(vmin: float, vmax: float, target: int = 5) -> List[float]:
+    """Nice tick positions covering [vmin, vmax]."""
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    step = _nice_step((vmax - vmin) / max(1, target - 1))
+    first = math.floor(vmin / step) * step
+    ticks = []
+    value = first
+    while value < vmax + step * 0.5:
+        ticks.append(0.0 if abs(value) < step * 1e-9 else value)
+        value += step
+    return ticks
+
+
+def _drawn_series(result: FigureResult) -> List[str]:
+    """The series this chart inks: the foreground set, palette-capped."""
+    return result.charted_series()[:len(PALETTE)]
+
+
+def _numeric_x(result: FigureResult) -> Optional[List[float]]:
+    """The x labels as floats when every one parses, else None."""
+    values = []
+    for x in result.x_values:
+        try:
+            values.append(float(x))
+        except ValueError:
+            return None
+    return values
+
+
+def _legend_rows(series: List[str], plot_w: float) -> List[List[str]]:
+    """Wrap legend entries into rows that fit the plot width."""
+    rows: List[List[str]] = [[]]
+    used = 0.0
+    for name in series:
+        width = 22 + len(name) * _CHAR_W + 14
+        if rows[-1] and used + width > plot_w:
+            rows.append([])
+            used = 0.0
+        rows[-1].append(name)
+        used += width
+    return rows
+
+
+def render_svg(result: FigureResult) -> str:
+    """One figure result as a complete standalone SVG document."""
+    series = _drawn_series(result)
+    dropped = len(result.charted_series()) - len(series)
+
+    # ---- layout ------------------------------------------------------- #
+    n_x = max(1, len(result.x_values))
+    if result.chart == "bar":
+        group_w = len(series) * 14 + 18
+        plot_w = float(max(440, min(1040, n_x * max(34, group_w))))
+    else:
+        plot_w = float(max(440, min(1040, n_x * 64)))
+    plot_h = 300.0
+
+    margin_left = 58.0
+    margin_right = 18.0
+    legend = _legend_rows(series, plot_w) if len(series) > 1 else []
+    title_h = 26.0
+    caption_h = 16.0
+    legend_h = len(legend) * 18.0 + (6.0 if legend else 0.0)
+    margin_top = 12.0 + title_h + caption_h + legend_h
+
+    longest_x = max((len(x) for x in result.x_values), default=1)
+    rotate_x = longest_x > 7
+    x_label_h = (longest_x * _CHAR_W * 0.574 + 18.0) if rotate_x else 22.0
+    margin_bottom = x_label_h + 20.0
+
+    width = margin_left + plot_w + margin_right
+    height = margin_top + plot_h + margin_bottom
+
+    # ---- scales ------------------------------------------------------- #
+    values = [value for _, _, value in result.cells]
+    vmin = min([0.0] + values) if values else 0.0
+    vmax = max([0.0] + values) if values else 1.0
+    if vmax > 0:
+        vmax *= 1.05
+    if vmin < 0:
+        vmin *= 1.05
+    ticks = _ticks(vmin, vmax)
+    vmin, vmax = min(ticks[0], vmin), max(ticks[-1], vmax)
+
+    def y_of(value: float) -> float:
+        span = vmax - vmin
+        return margin_top + plot_h - (value - vmin) / span * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{_coord(width)}" height="{_coord(height)}" '
+        f'viewBox="0 0 {_coord(width)} {_coord(height)}" '
+        f'font-family="{FONT}">')
+    parts.append(f'<rect width="{_coord(width)}" height="{_coord(height)}" '
+                 f'fill="{SURFACE}"/>')
+
+    # ---- title, caption, legend --------------------------------------- #
+    parts.append(f'<text x="{_coord(margin_left)}" y="24" font-size="13" '
+                 f'font-weight="600" fill="{TEXT_PRIMARY}">'
+                 f'{_escape(f"{result.figure_id} — {result.title}")}</text>')
+    parts.append(f'<text x="{_coord(margin_left)}" y="40" font-size="11" '
+                 f'fill="{TEXT_SECONDARY}">'
+                 f'{_escape(f"y: {result.y_label}")}</text>')
+    legend_y = 12.0 + title_h + caption_h
+    for row_index, row in enumerate(legend):
+        x_cursor = margin_left
+        y_cursor = legend_y + row_index * 18.0
+        for name in row:
+            color = PALETTE[series.index(name)]
+            parts.append(f'<rect x="{_coord(x_cursor)}" '
+                         f'y="{_coord(y_cursor)}" width="12" height="12" '
+                         f'rx="2" fill="{color}"/>')
+            parts.append(f'<text x="{_coord(x_cursor + 17)}" '
+                         f'y="{_coord(y_cursor + 10)}" font-size="11" '
+                         f'fill="{TEXT_SECONDARY}">{_escape(name)}</text>')
+            x_cursor += 22 + len(name) * _CHAR_W + 14
+
+    # ---- grid + y axis ------------------------------------------------ #
+    for tick in ticks:
+        y = y_of(tick)
+        parts.append(f'<line x1="{_coord(margin_left)}" y1="{_coord(y)}" '
+                     f'x2="{_coord(margin_left + plot_w)}" y2="{_coord(y)}" '
+                     f'stroke="{GRID}" stroke-width="1"/>')
+        parts.append(f'<text x="{_coord(margin_left - 8)}" '
+                     f'y="{_coord(y + 3.5)}" font-size="11" '
+                     f'text-anchor="end" fill="{TEXT_SECONDARY}">'
+                     f'{_escape(_fmt(tick))}</text>')
+    baseline = y_of(max(0.0, vmin))
+    parts.append(f'<line x1="{_coord(margin_left)}" y1="{_coord(baseline)}" '
+                 f'x2="{_coord(margin_left + plot_w)}" '
+                 f'y2="{_coord(baseline)}" stroke="{AXIS}" '
+                 f'stroke-width="1"/>')
+
+    # ---- x positions -------------------------------------------------- #
+    numeric = _numeric_x(result) if result.chart == "line" else None
+    if numeric is not None and len(numeric) > 1 \
+            and max(numeric) > min(numeric):
+        x_span = max(numeric) - min(numeric)
+        pad = plot_w * 0.06
+        centers = [margin_left + pad
+                   + (value - min(numeric)) / x_span * (plot_w - 2 * pad)
+                   for value in numeric]
+    else:
+        slot = plot_w / n_x
+        centers = [margin_left + slot * (index + 0.5)
+                   for index in range(n_x)]
+
+    # ---- x tick labels ------------------------------------------------ #
+    tick_y = margin_top + plot_h + 14
+    for center, x_value in zip(centers, result.x_values):
+        if rotate_x:
+            parts.append(
+                f'<text x="{_coord(center)}" y="{_coord(tick_y)}" '
+                f'font-size="11" text-anchor="end" fill="{TEXT_SECONDARY}" '
+                f'transform="rotate(-35 {_coord(center)} {_coord(tick_y)})">'
+                f'{_escape(x_value)}</text>')
+        else:
+            parts.append(
+                f'<text x="{_coord(center)}" y="{_coord(tick_y)}" '
+                f'font-size="11" text-anchor="middle" '
+                f'fill="{TEXT_SECONDARY}">{_escape(x_value)}</text>')
+    parts.append(f'<text x="{_coord(margin_left + plot_w / 2)}" '
+                 f'y="{_coord(height - 6)}" font-size="11" '
+                 f'text-anchor="middle" fill="{TEXT_SECONDARY}">'
+                 f'{_escape(result.x_label)}</text>')
+
+    # ---- marks -------------------------------------------------------- #
+    if result.chart == "bar":
+        n_series = max(1, len(series))
+        slot = plot_w / n_x
+        bar_w = max(4.0, min(22.0, (slot - 12.0 - 2.0 * (n_series - 1))
+                             / n_series))
+        group_w = n_series * bar_w + 2.0 * (n_series - 1)
+        zero_y = y_of(0.0) if vmin <= 0.0 <= vmax else baseline
+        for series_index, name in enumerate(series):
+            color = PALETTE[series_index]
+            for center, x_value in zip(centers, result.x_values):
+                value = result.value(name, x_value)
+                if value is None:
+                    continue
+                x0 = center - group_w / 2 + series_index * (bar_w + 2.0)
+                y_val = y_of(value)
+                top = min(y_val, zero_y)
+                bar_h = max(0.5, abs(y_val - zero_y))
+                parts.append(
+                    f'<rect x="{_coord(x0)}" y="{_coord(top)}" '
+                    f'width="{_coord(bar_w)}" height="{_coord(bar_h)}" '
+                    f'rx="2" fill="{color}"><title>'
+                    f'{_escape(f"{name} · {x_value}: {_fmt(value)}")}'
+                    f'</title></rect>')
+    else:
+        for series_index, name in enumerate(series):
+            color = PALETTE[series_index]
+            points: List[Tuple[float, float, str, float]] = []
+            for center, x_value in zip(centers, result.x_values):
+                value = result.value(name, x_value)
+                if value is not None:
+                    points.append((center, y_of(value), x_value, value))
+            if len(points) > 1:
+                path = " ".join(f"{_coord(px)},{_coord(py)}"
+                                for px, py, _, _ in points)
+                parts.append(f'<polyline points="{path}" fill="none" '
+                             f'stroke="{color}" stroke-width="2" '
+                             f'stroke-linejoin="round"/>')
+            for px, py, x_value, value in points:
+                parts.append(
+                    f'<circle cx="{_coord(px)}" cy="{_coord(py)}" r="4" '
+                    f'fill="{color}" stroke="{SURFACE}" '
+                    f'stroke-width="1.5"><title>'
+                    f'{_escape(f"{name} · {x_value}: {_fmt(value)}")}'
+                    f'</title></circle>')
+
+    if dropped > 0:
+        note = (f"showing {len(series)} of {len(result.charted_series())} "
+                f"series (all in CSV/table)")
+        parts.append(
+            f'<text x="{_coord(margin_left + plot_w)}" y="40" '
+            f'font-size="10" text-anchor="end" fill="{TEXT_SECONDARY}">'
+            f'{_escape(note)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

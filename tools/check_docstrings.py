@@ -8,11 +8,15 @@ runtime dependencies): walks ``src/repro`` with ``ast``, and reports
 * public classes (not ``_``-prefixed) without a class docstring,
 * public module-level functions without a docstring.
 
-Methods are deliberately out of scope: most public methods here
-implement an interface whose contract is documented once on the ABC or
-in the class docstring (``Prefetcher.storage_bits``,
-``ReplacementPolicy.victim``, ``*Stats.as_dict``, ...), and ``help()``
-surfaces the class docs next to them.
+Methods are deliberately out of scope for the simulator packages: most
+public methods there implement an interface whose contract is
+documented once on the ABC or in the class docstring
+(``Prefetcher.storage_bits``, ``ReplacementPolicy.victim``,
+``*Stats.as_dict``, ...), and ``help()`` surfaces the class docs next
+to them.  The ``repro.report`` package is held to a stricter standard —
+public *methods* need docstrings too — because its classes
+(``FigureResult``, ``FigureSpec``, the renderers) are the documented
+extension surface the generated docs and third-party figures build on.
 
 Exit status is the number of offenders (0 = clean), so CI can gate on
 it directly: ``python tools/check_docstrings.py``.
@@ -37,8 +41,13 @@ def _function_offenders(node: ast.FunctionDef,
         yield path, node.lineno, f"{name}() missing docstring"
 
 
-def check_file(path: Path) -> List[Tuple[Path, int, str]]:
-    """All docstring offenders in one source file."""
+def check_file(path: Path,
+               require_methods: bool = False) -> List[Tuple[Path, int, str]]:
+    """All docstring offenders in one source file.
+
+    With ``require_methods`` (the ``repro.report`` standard), public
+    methods of public classes are checked as well.
+    """
     tree = ast.parse(path.read_text(encoding="utf-8"))
     offenders: List[Tuple[Path, int, str]] = []
     if ast.get_docstring(tree) is None:
@@ -50,14 +59,28 @@ def check_file(path: Path) -> List[Tuple[Path, int, str]]:
             if ast.get_docstring(node) is None:
                 offenders.append((path, node.lineno,
                                   f"class {node.name} missing docstring"))
+            if require_methods:
+                for member in node.body:
+                    if not isinstance(member, (ast.FunctionDef,
+                                               ast.AsyncFunctionDef)):
+                        continue
+                    if member.name.startswith("_"):
+                        continue
+                    if ast.get_docstring(member) is None:
+                        offenders.append(
+                            (path, member.lineno,
+                             f"method {node.name}.{member.name}() "
+                             f"missing docstring"))
     return offenders
 
 
 def main() -> int:
     """Walk src/repro and print one line per offender."""
+    report_pkg = SRC / "report"
     offenders: List[Tuple[Path, int, str]] = []
     for path in sorted(SRC.rglob("*.py")):
-        offenders.extend(check_file(path))
+        offenders.extend(check_file(
+            path, require_methods=report_pkg in path.parents))
     for path, line, message in offenders:
         print(f"{path.relative_to(REPO_ROOT)}:{line}: {message}")
     if offenders:
