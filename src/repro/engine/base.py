@@ -1,0 +1,34 @@
+"""Engine interface: the contract the single-core drivers program to."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.trace import MemoryAccess
+
+
+class Engine:
+    """One single-core execution backend.
+
+    An engine executes ``accesses[start:stop]`` against the live system
+    it was constructed for, with semantics identical to calling
+    :meth:`repro.cpu.core.OutOfOrderCore.step` once per record.  Spans
+    are driven sequentially (warmup span, then measured span; streaming
+    chunks in order): engines may exploit that to batch work, but every
+    piece of *state* — caches, MSHRs, DRAM banks, predictor weights,
+    statistics — lives in the system objects, never in the engine, so
+    pausing between spans (to reset statistics at the warmup boundary)
+    or swapping engines between runs cannot change results.
+    """
+
+    name = "base"
+
+    def __init__(self, core, hierarchy, hermes=None) -> None:
+        self.core = core
+        self.hierarchy = hierarchy
+        self.hermes = hermes
+
+    def run_span(self, accesses: List[MemoryAccess], start: int,
+                 stop: int) -> None:
+        """Execute ``accesses[start:stop]`` (between begin()/finalize())."""
+        raise NotImplementedError

@@ -1,0 +1,16 @@
+"""The scalar engine: the inlined pure-Python hot loop, no dependencies."""
+
+from __future__ import annotations
+
+from repro.engine import register_engine
+from repro.engine.base import Engine
+
+
+@register_engine("scalar")
+class ScalarEngine(Engine):
+    """Delegates to :meth:`OutOfOrderCore.run_span` — the PR 2 hot loop."""
+
+    name = "scalar"
+
+    def run_span(self, accesses, start: int, stop: int) -> None:
+        self.core.run_span(accesses, start, stop)

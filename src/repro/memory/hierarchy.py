@@ -401,12 +401,9 @@ class CacheHierarchy:
         outcome.issue_cycle = cycle
         outcome.went_offchip = False
         outcome.hermes_used = False
-        l1d = self.l1d
-        l1_latency = self._l1_latency
 
         # --- L2 (Cache.access inlined: same stats/flags/policy updates) ---
         l2 = self.l2
-        l2_cycle = cycle + l1_latency
         l2_stats = l2.stats
         l2_stats.demand_accesses += 1
         slot = l2._where_get(block, -1)
@@ -427,10 +424,28 @@ class CacheHierarchy:
             outcome.onchip_latency = onchip
             return outcome
         l2_stats.demand_misses += 1
+        return self._post_l2(block, address, pc, cycle, is_write, hermes_ready)
+
+    def _post_l2(self, block: int, address: int, pc: int, cycle: int,
+                 is_write: bool, hermes_ready: Optional[int]) -> LoadOutcome:
+        """The LLC -> DRAM portion of a demand access (post-L2-miss).
+
+        Split out of :meth:`_post_l1` so the vectorized engine (which
+        inlines the common L1/L2 paths) can delegate the rare off-chip
+        tail to the same code the scalar engine runs.
+        """
+        outcome = self._outcome
+        outcome.address = address
+        outcome.pc = pc
+        outcome.issue_cycle = cycle
+        outcome.went_offchip = False
+        outcome.hermes_used = False
+        l1d = self.l1d
+        l2 = self.l2
 
         # --- LLC (Cache.access inlined) ---
         llc = self.llc
-        llc_cycle = l2_cycle + l2.latency
+        llc_cycle = cycle + self._l2_onchip
         llc_stats = llc.stats
         llc_stats.demand_accesses += 1
         slot = llc._where_get(block, -1)

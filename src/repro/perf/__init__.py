@@ -14,9 +14,11 @@ regenerate it when a PR *intentionally* changes simulation results.
 """
 
 from repro.perf.harness import (
+    BENCH_SCHEMA_VERSION,
     BenchEntry,
     BenchReport,
     DEFAULT_ACCESSES,
+    EnvironmentMismatchError,
     PINNED_WORKLOADS,
     compare_reports,
     microbench_configs,
@@ -26,9 +28,11 @@ from repro.perf.harness import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "BenchEntry",
     "BenchReport",
     "DEFAULT_ACCESSES",
+    "EnvironmentMismatchError",
     "PINNED_WORKLOADS",
     "compare_reports",
     "microbench_configs",

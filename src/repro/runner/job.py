@@ -137,7 +137,15 @@ def _canonical(value: Any) -> Any:
     config serialized to disk and reloaded produces byte-identical keys.
     """
     if isinstance(value, SerializableConfig):
-        return value.to_dict()
+        serialized = value.to_dict()
+        if isinstance(value, SystemConfig):
+            # The execution engine is bit-identical by contract (gated by
+            # the golden-equivalence suite), so it must not influence
+            # cache identity: results computed under either engine are
+            # interchangeable, and keys minted before the engine field
+            # existed keep matching.
+            serialized.pop("engine", None)
+        return serialized
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {f.name: _canonical(getattr(value, f.name))
                 for f in dataclasses.fields(value)}

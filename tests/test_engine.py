@@ -1,0 +1,257 @@
+"""Tests for the pluggable execution-engine registry (repro.engine).
+
+The bit-identity contract itself is gated by the golden-equivalence
+suite (every fixture cell runs under every engine); these tests cover
+the registry plumbing, graceful degradation without NumPy, the
+cross-engine identity of awkward span boundaries (warmup splits inside
+a streaming chunk, chunks smaller than a batch, empty traces), and the
+cache-key invariance that licenses sharing results across engines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro.engine as engine_mod
+from repro.engine import (
+    EngineUnavailableError,
+    available_engines,
+    check_engine,
+    engine_registry,
+    make_engine,
+    numpy_or_none,
+)
+from repro.engine.scalar import ScalarEngine
+from repro.registry import UnknownComponentError
+from repro.runner.job import SimJob
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import build_system, simulate_stream, simulate_trace
+from repro.workloads.suite import make_trace
+from repro.workloads.trace import Trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+HAVE_NUMPY = numpy_or_none() is not None
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+
+
+def _result_dict(result):
+    # The golden fingerprint captures every stat group (core, hierarchy,
+    # per-cache, predictor, Hermes, prefetcher) — far stricter than the
+    # flat summary dict.
+    from repro.perf.golden import fingerprint_single
+    return fingerprint_single(result)
+
+
+# ---------------------------------------------------------------------- #
+# Registry & availability
+# ---------------------------------------------------------------------- #
+
+def test_both_engines_are_registered():
+    names = engine_registry.names()
+    assert "scalar" in names
+    assert "vectorized" in names
+
+
+def test_scalar_engine_is_always_available():
+    infos = {info.name: info for info in available_engines()}
+    assert infos["scalar"].available
+    assert infos["scalar"].requires == ""
+
+
+def test_unknown_engine_raises_with_known_names():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        check_engine("warp-drive")
+    message = str(excinfo.value)
+    assert "warp-drive" in message
+    assert "scalar" in message
+
+
+def test_config_validate_rejects_unknown_engine():
+    config = dataclasses.replace(SystemConfig.no_prefetching(),
+                                 engine="warp-drive")
+    with pytest.raises(UnknownComponentError):
+        config.validate()
+
+
+def test_vectorized_without_numpy_degrades_gracefully(monkeypatch):
+    monkeypatch.setattr(engine_mod, "numpy_or_none", lambda: None)
+    with pytest.raises(EngineUnavailableError) as excinfo:
+        check_engine("vectorized")
+    message = str(excinfo.value)
+    assert "NumPy" in message
+    assert "pip install .[fast]" in message
+    assert "scalar" in message  # names the engines that *are* usable
+    # SystemConfig.validate() surfaces the same error before any
+    # simulation work starts.
+    config = dataclasses.replace(SystemConfig.no_prefetching(),
+                                 engine="vectorized")
+    with pytest.raises(EngineUnavailableError):
+        config.validate()
+    # And the availability listing reports the requirement.
+    infos = {info.name: info for info in available_engines()}
+    assert not infos["vectorized"].available
+    assert "NumPy" in infos["vectorized"].requires
+
+
+def test_build_system_honors_engine_field():
+    config = SystemConfig.no_prefetching()
+    system = build_system(config)
+    assert isinstance(system.engine, ScalarEngine)
+
+
+@needs_numpy
+def test_build_system_honors_repro_engine_env(monkeypatch):
+    from repro.engine.vectorized import VectorizedEngine
+    monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+    system = build_system(SystemConfig.no_prefetching())
+    assert isinstance(system.engine, VectorizedEngine)
+
+
+def test_bad_repro_engine_env_fails_actionably(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "warp-drive")
+    with pytest.raises(UnknownComponentError):
+        build_system(SystemConfig.no_prefetching())
+
+
+def test_make_engine_requires_known_name():
+    config = SystemConfig.no_prefetching()
+    system = build_system(config)
+    with pytest.raises(UnknownComponentError):
+        make_engine("warp-drive", core=system.core,
+                    hierarchy=system.hierarchy, hermes=system.hermes)
+
+
+# ---------------------------------------------------------------------- #
+# Cross-engine identity on awkward span boundaries
+# ---------------------------------------------------------------------- #
+
+def _config_pair(base):
+    scalar = dataclasses.replace(base, engine="scalar")
+    vectorized = dataclasses.replace(base, engine="vectorized")
+    return scalar, vectorized
+
+
+@needs_numpy
+def test_warmup_split_mid_chunk_is_identical():
+    # 2000 accesses, warmup_fraction 0.25 -> boundary at 500, inside the
+    # first 700-access chunk: the vectorized engine must split a batch
+    # at the stats-reset boundary exactly like the scalar loop.
+    base = SystemConfig.with_hermes("popet", prefetcher="spp")
+    trace = make_trace("spec06.mcf_chase", 2000)
+    scalar_cfg, vectorized_cfg = _config_pair(base)
+    expected = _result_dict(simulate_trace(scalar_cfg, trace))
+    for chunk_size in (700, 2000):
+        streamed = simulate_stream(vectorized_cfg, trace,
+                                   chunk_size=chunk_size)
+        assert _result_dict(streamed) == expected, f"chunk_size={chunk_size}"
+
+
+@needs_numpy
+def test_stream_chunks_smaller_than_batch_are_identical():
+    # Tiny chunks force the vectorized engine through its span-
+    # continuation path (and, for 1-access chunks, batches of one).
+    base = SystemConfig.baseline("pythia")
+    trace = make_trace("ligra.bfs", 600)
+    scalar_cfg, vectorized_cfg = _config_pair(base)
+    expected = _result_dict(simulate_stream(scalar_cfg, trace, chunk_size=64))
+    for chunk_size in (64, 7, 1):
+        streamed = simulate_stream(vectorized_cfg, trace,
+                                   chunk_size=chunk_size)
+        assert _result_dict(streamed) == expected, f"chunk_size={chunk_size}"
+
+
+@needs_numpy
+def test_empty_trace_is_identical():
+    trace = Trace(name="empty", category="synthetic", accesses=[])
+    scalar_cfg, vectorized_cfg = _config_pair(SystemConfig.no_prefetching())
+    scalar = _result_dict(simulate_trace(scalar_cfg, trace))
+    vectorized_result = simulate_trace(vectorized_cfg, trace)
+    assert scalar == _result_dict(vectorized_result)
+    assert vectorized_result.core.memory_instructions == 0
+
+
+# ---------------------------------------------------------------------- #
+# Cache-key invariance
+# ---------------------------------------------------------------------- #
+
+def test_job_key_is_engine_invariant():
+    base = SystemConfig.with_hermes("popet", prefetcher="pythia")
+    scalar_cfg, vectorized_cfg = _config_pair(base)
+    scalar_key = SimJob(config=scalar_cfg, workload="spec06.mcf_chase",
+                        num_accesses=5000).key()
+    vectorized_key = SimJob(config=vectorized_cfg, workload="spec06.mcf_chase",
+                            num_accesses=5000).key()
+    assert scalar_key == vectorized_key
+
+
+def test_job_keys_unchanged_for_existing_scalar_configs():
+    # Pinned pre-engine-field hashes: the engine field must not shift
+    # cache identity for any config that already existed, or every
+    # cached result on disk silently invalidates.
+    job = SimJob(config=SystemConfig.with_hermes("popet", prefetcher="pythia"),
+                 workload="spec06.mcf_chase", num_accesses=5000)
+    assert job.key() == ("9193234000c299451981f164b764e060"
+                        "887f5352a15613c1ec15f228b5d3271b")
+    job = SimJob(config=SystemConfig.no_prefetching(),
+                 workload="ligra.bfs", num_accesses=2500)
+    assert job.key() == ("ba17b32209e34193495658fa0192b0ce"
+                        "73788f61b892b45473c104f0f157b90b")
+
+
+# ---------------------------------------------------------------------- #
+# Scalar engine runs on an interpreter with no NumPy at all
+# ---------------------------------------------------------------------- #
+
+def test_scalar_simulation_runs_without_numpy(tmp_path):
+    # Shadow numpy with an import-bomb ahead of site-packages: the
+    # default (scalar) configuration must simulate fine, and the
+    # vectorized engine must fail with the install hint.
+    stub = tmp_path / "numpy.py"
+    stub.write_text("raise ImportError('numpy stubbed out for this test')\n")
+    script = textwrap.dedent("""
+        from repro.engine import EngineUnavailableError, check_engine
+        from repro.sim.config import SystemConfig
+        from repro.sim.simulator import simulate_trace
+        from repro.workloads.suite import make_trace
+
+        result = simulate_trace(SystemConfig.no_prefetching(),
+                                make_trace("cvp.server_int", 400))
+        assert result.core.memory_instructions > 0
+        try:
+            check_engine("vectorized")
+        except EngineUnavailableError as exc:
+            assert "pip install .[fast]" in str(exc)
+        else:
+            raise AssertionError("vectorized should be unavailable")
+        print("OK")
+    """)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(tmp_path), str(SRC)])
+    env.pop("REPRO_ENGINE", None)
+    proc = subprocess.run([sys.executable, "-c", script],
+                          capture_output=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr.decode()
+    assert b"OK" in proc.stdout
+
+
+def test_cli_reports_unknown_engine_with_exit_2(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "--workload", "ligra.bfs",
+         "--accesses", "400", "--set", "engine=warp-drive",
+         "--output", str(tmp_path / "out.json")],
+        capture_output=True, env=env, timeout=300)
+    assert proc.returncode == 2
+    stderr = proc.stderr.decode()
+    assert "warp-drive" in stderr
+    assert "scalar" in stderr

@@ -1,6 +1,8 @@
 """Unit tests for the repro.perf benchmark harness plumbing."""
 
 import json
+import math
+import platform
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.perf import (
     run_microbench,
     write_report,
 )
+from repro.perf.harness import BENCH_SCHEMA_VERSION, EnvironmentMismatchError
 from repro.perf.golden import GOLDEN_PREDICTORS, GOLDEN_PREFETCHERS, golden_config
 
 
@@ -22,11 +25,23 @@ def test_bench_report_aggregates():
     ])
     assert report.total_accesses == 2000
     assert report.total_wall_s == pytest.approx(2.0)
-    assert report.accesses_per_sec == pytest.approx(1000.0)
+    # Schema 2: geometric mean of per-entry throughputs (2000, 666.67).
+    assert report.accesses_per_sec == pytest.approx(
+        math.sqrt(2000.0 * (1000.0 / 1.5)))
     payload = report.as_dict()
     assert payload["tag"] == "t"
+    assert payload["schema"] == BENCH_SCHEMA_VERSION
+    assert payload["engine"] == "scalar"
+    assert "numpy" in payload
     assert len(payload["configs"]) == 2
     assert payload["configs"][0]["accesses_per_sec"] == pytest.approx(2000.0)
+
+
+def test_bench_report_geomean_empty_and_zero():
+    assert BenchReport(tag="t").accesses_per_sec == 0.0
+    report = BenchReport(tag="t", entries=[
+        BenchEntry("a", "w1", accesses=1000, wall_s=0.0)])
+    assert report.accesses_per_sec == 0.0
 
 
 def test_write_report_round_trips(tmp_path):
@@ -50,6 +65,45 @@ def test_compare_reports_flags_regression():
 def test_compare_reports_validates_threshold():
     with pytest.raises(ValueError):
         compare_reports({}, {}, max_regression=1.5)
+
+
+def test_compare_reports_refuses_engine_mismatch():
+    python = platform.python_version()
+    current = {"schema": 2, "engine": "vectorized", "numpy": "2.4.6",
+               "python": python, "accesses_per_sec": 900.0}
+    baseline = {"schema": 2, "engine": "scalar", "numpy": "2.4.6",
+                "python": python, "accesses_per_sec": 1000.0}
+    with pytest.raises(EnvironmentMismatchError) as excinfo:
+        compare_reports(current, baseline)
+    assert "engine" in str(excinfo.value)
+    assert "--allow-env-mismatch" in str(excinfo.value)
+    # The override flag compares anyway (and 900 vs 1000 is within 30%).
+    assert compare_reports(current, baseline, allow_env_mismatch=True) == []
+
+
+def test_compare_reports_schema1_baseline_is_scalar():
+    # A schema-1 baseline predates the engine field: it was produced by
+    # the scalar engine, so scalar-vs-schema-1 comparisons pass the env
+    # guard while vectorized ones refuse.
+    baseline = {"accesses_per_sec": 1000.0, "python": "3.11.7"}
+    scalar = {"schema": 2, "engine": "scalar", "numpy": "2.4.6",
+              "python": "3.11.2", "accesses_per_sec": 950.0}
+    assert compare_reports(scalar, baseline) == []
+    vectorized = dict(scalar, engine="vectorized")
+    with pytest.raises(EnvironmentMismatchError):
+        compare_reports(vectorized, baseline)
+
+
+def test_compare_reports_refuses_python_minor_mismatch():
+    baseline = {"schema": 2, "engine": "scalar", "numpy": "none",
+                "python": "3.9.18", "accesses_per_sec": 1000.0}
+    current = {"schema": 2, "engine": "scalar", "numpy": "none",
+               "python": "3.12.1", "accesses_per_sec": 1000.0}
+    with pytest.raises(EnvironmentMismatchError):
+        compare_reports(current, baseline)
+    # Patch-level differences do not gate.
+    patch = dict(current, python="3.9.2")
+    assert compare_reports(patch, baseline) == []
 
 
 def test_microbench_configs_cover_hot_path_shapes():
