@@ -43,12 +43,16 @@ from repro.offchip import POPET, POPETConfig, make_predictor
 from repro.prefetchers import make_prefetcher
 from repro.runner import (
     ExperimentSpec,
+    JobOutcome,
     JobRunner,
     PredictorSpec,
     ProcessPoolBackend,
     ResultCache,
+    RetryPolicy,
     SerialBackend,
     SimJob,
+    SweepError,
+    SweepReport,
     SweepSpec,
 )
 from repro.sim import (
@@ -118,6 +122,10 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "ResultCache",
+    "RetryPolicy",
+    "JobOutcome",
+    "SweepReport",
+    "SweepError",
     # analysis
     "geomean",
     "geomean_speedup",

@@ -47,12 +47,17 @@ from repro.offchip.factory import available_predictors, make_predictor
 from repro.prefetchers.factory import available_prefetchers, make_prefetcher
 from repro.runner import (
     ExperimentSpec,
+    FaultPlan,
+    JobOutcome,
     JobRunner,
     PredictorSpec,
     ProcessPoolBackend,
     ResultCache,
+    RetryPolicy,
     SerialBackend,
     SimJob,
+    SweepError,
+    SweepReport,
     SweepSpec,
 )
 from repro.report import (
@@ -77,6 +82,9 @@ __all__ = [
     # specs and jobs
     "ExperimentSpec", "SimJob", "SweepSpec", "PredictorSpec",
     "JobRunner", "SerialBackend", "ProcessPoolBackend", "ResultCache",
+    # resilience
+    "RetryPolicy", "JobOutcome", "SweepReport", "SweepError", "FaultPlan",
+    "sweep_report",
     # registries
     "available_prefetchers", "available_predictors",
     "make_prefetcher", "make_predictor",
@@ -110,10 +118,28 @@ def run(config: Optional[SystemConfig] = None, *,
     return simulate_trace(config, make_trace(workload, accesses))
 
 
+def _make_runner(parallel: bool, max_workers: Optional[int],
+                 cache_dir: Optional[Union[str, Path]],
+                 retries: int, retry_delay: float,
+                 timeout: Optional[float], on_error: str) -> JobRunner:
+    """The runner shared by :func:`sweep` and :func:`sweep_report`."""
+    backend = (ProcessPoolBackend(max_workers=max_workers) if parallel
+               else SerialBackend())
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    policy = RetryPolicy(max_attempts=retries + 1, base_delay=retry_delay,
+                         timeout=timeout)
+    return JobRunner(backend=backend, result_cache=cache,
+                     retry_policy=policy, on_error=on_error)
+
+
 def sweep(spec: Union[ExperimentSpec, SweepSpec, Sequence[SimJob]], *,
           parallel: bool = False,
           max_workers: Optional[int] = None,
-          cache_dir: Optional[Union[str, Path]] = None) -> Any:
+          cache_dir: Optional[Union[str, Path]] = None,
+          retries: int = 0,
+          retry_delay: float = 0.0,
+          timeout: Optional[float] = None,
+          on_error: str = "raise") -> Any:
     """Run a sweep through the job runner (cache + chosen backend).
 
     Accepts an :class:`ExperimentSpec` (returns ``{label:
@@ -121,17 +147,54 @@ def sweep(spec: Union[ExperimentSpec, SweepSpec, Sequence[SimJob]], *,
     :class:`SweepSpec` (returns its reduced value) or a plain job list
     (returns results in job order).  ``parallel`` fans the whole matrix
     over a process pool; ``cache_dir`` memoises finished jobs on disk
-    keyed by config content.
+    keyed by config content — each job the moment it completes, so an
+    interrupted sweep resumes from its last finished job when re-run
+    against the same directory.
+
+    Failure handling: each job gets ``1 + retries`` attempts with
+    ``retry_delay``-seconded exponential backoff and an optional
+    per-attempt ``timeout`` (seconds).  Jobs that exhaust their budget
+    raise :class:`SweepError` (default) or, with ``on_error="skip"``,
+    leave ``None`` in their result slots; use :func:`sweep_report` to
+    also get the per-job :class:`SweepReport` ledger.
     """
-    backend = (ProcessPoolBackend(max_workers=max_workers) if parallel
-               else SerialBackend())
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    runner = JobRunner(backend=backend, result_cache=cache)
+    runner = _make_runner(parallel, max_workers, cache_dir,
+                          retries, retry_delay, timeout, on_error)
     if isinstance(spec, ExperimentSpec):
         return spec.group(runner.run(spec.jobs()))
     if isinstance(spec, SweepSpec):
         return runner.run_sweep(spec)
     return runner.run(list(spec))
+
+
+def sweep_report(spec: Union[ExperimentSpec, SweepSpec, Sequence[SimJob]], *,
+                 parallel: bool = False,
+                 max_workers: Optional[int] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 retries: int = 0,
+                 retry_delay: float = 0.0,
+                 timeout: Optional[float] = None,
+                 on_error: str = "skip") -> "tuple[List[Any], SweepReport]":
+    """Like :func:`sweep`, but returns ``(results, SweepReport)``.
+
+    Results come back flat in job order (an :class:`ExperimentSpec` is
+    expanded via its ``jobs()``; reshape with ``spec.group`` if every
+    job succeeded), with ``None`` holes for failed jobs; the report
+    accounts for every job's status, attempt count and duration —
+    including cache hits.  Defaults to ``on_error="skip"`` because
+    callers asking for the ledger want to inspect partial results, not
+    catch exceptions.
+    """
+    runner = _make_runner(parallel, max_workers, cache_dir,
+                          retries, retry_delay, timeout, on_error)
+    if isinstance(spec, ExperimentSpec):
+        jobs: Sequence[SimJob] = spec.jobs()
+        name = spec.name
+    elif isinstance(spec, SweepSpec):
+        jobs, name = spec.jobs, spec.name
+    else:
+        jobs, name = list(spec), "sweep"
+    return runner.run_report(jobs, name=name)
 
 
 def report(figures: Optional[Sequence[str]] = None, *,

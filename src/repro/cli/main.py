@@ -159,12 +159,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.spec is not None and args.figure is not None:
         raise ValueError("--spec and --figure are mutually exclusive")
+    if args.resume and args.cache_dir is None:
+        raise ValueError("--resume needs --cache-dir: resume re-runs only "
+                         "the jobs missing from the checkpoint cache")
     if args.spec is not None:
         return _sweep_spec(args)
 
     setup = ExperimentSetup(parallel=args.parallel,
                             max_workers=args.max_workers,
-                            result_cache_dir=args.cache_dir)
+                            result_cache_dir=args.cache_dir,
+                            retries=args.retries,
+                            retry_delay=args.retry_delay,
+                            timeout=args.timeout,
+                            on_error=args.on_error)
     if args.accesses is not None:
         setup.num_accesses = args.accesses
     if args.per_category is not None:
@@ -173,6 +180,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         setup.categories = _split_list(args.categories)
 
     if args.figure is not None:
+        if args.outcomes is not None:
+            raise ValueError("--outcomes only applies to --spec and ad-hoc "
+                             "matrices; figure runners reduce their own "
+                             "sweeps internally")
         ignored = [flag for flag, value in [
             ("--workloads", args.workloads),
             ("--prefetchers", args.prefetchers),
@@ -221,20 +232,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             batch = jobs_for_suite(config, workloads, setup.num_accesses)
             jobs.extend(batch)
             labels.extend([config.label] * len(batch))
-    results = setup.runner().run(jobs)
-    rows = []
-    for label, job, result in zip(labels, jobs, results):
+    results, report = _run_reported(setup.runner(), jobs, "adhoc",
+                                    args.outcomes)
+    rows = _sweep_rows(labels, jobs, results, report)
+    print(report.summary(), file=sys.stderr)
+    if args.outcomes is not None:
+        _emit_json(report.to_dict(), args.outcomes)
+    _emit_json({"jobs": len(rows), "rows": rows}, args.output)
+    return 0
+
+
+def _run_reported(runner, jobs, name: str, outcomes: Optional[str]):
+    """``run_report`` that writes the ``--outcomes`` ledger even on failure.
+
+    Under ``--on-error raise`` the SweepError aborts the sweep output,
+    but the outcome document is most useful exactly then — it names the
+    jobs that exhausted their budget — so it (and the summary line) are
+    emitted before the error propagates to the exit-code-3 handler.
+    """
+    from repro.runner.status import SweepError
+    try:
+        return runner.run_report(jobs, name=name)
+    except SweepError as exc:
+        print(exc.report.summary(), file=sys.stderr)
+        if outcomes is not None:
+            _emit_json(exc.report.to_dict(), outcomes)
+        raise
+
+
+def _sweep_rows(labels, jobs, results, report) -> List[Dict[str, Any]]:
+    """One JSON row per job: result stats, or the failure record.
+
+    Successful rows keep their historical shape (the result's
+    ``as_dict`` plus ``config``) so resumed and uninterrupted runs
+    serialize byte-identically; failed jobs (``--on-error skip``) get a
+    stub row naming the workload and what killed it instead of a hole.
+    """
+    rows: List[Dict[str, Any]] = []
+    for label, job, result, outcome in zip(labels, jobs, results,
+                                           report.outcomes):
+        if result is None:
+            rows.append({"config": label,
+                         "workload": job.workload,
+                         "status": outcome.status,
+                         "attempts": outcome.attempts,
+                         "error": outcome.error})
+            continue
         row = result.as_dict()
         row["config"] = label
         rows.append(row)
-    _emit_json({"jobs": len(rows), "rows": rows}, args.output)
-    return 0
+    return rows
 
 
 def _sweep_spec(args: argparse.Namespace) -> int:
     """Run a declarative spec file (``repro sweep --spec path.toml``)."""
     from repro.config import apply_overrides, parse_override_tokens
-    from repro.runner import ExperimentSpec, JobRunner, ResultCache
+    from repro.runner import (
+        ExperimentSpec,
+        JobRunner,
+        ResultCache,
+        RetryPolicy,
+    )
     from repro.runner.backends import ProcessPoolBackend, SerialBackend
 
     ignored = [flag for flag, value in [
@@ -263,12 +321,22 @@ def _sweep_spec(args: argparse.Namespace) -> int:
                if args.parallel else SerialBackend())
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
     jobs = spec.jobs()
-    results = JobRunner(backend=backend, result_cache=cache).run(jobs)
-    rows = []
-    for job, result in zip(jobs, results):
-        row = result.as_dict()
-        row["config"] = job.config.label
-        rows.append(row)
+    if args.resume:
+        missing = spec.missing_jobs(cache)
+        print(f"resume: {len(jobs) - len(missing)} of {len(jobs)} job(s) "
+              f"already checkpointed; executing {len(missing)}",
+              file=sys.stderr)
+    policy = RetryPolicy(max_attempts=args.retries + 1,
+                         base_delay=args.retry_delay,
+                         timeout=args.timeout)
+    runner = JobRunner(backend=backend, result_cache=cache,
+                       retry_policy=policy, on_error=args.on_error)
+    results, report = _run_reported(runner, jobs, spec.name, args.outcomes)
+    rows = _sweep_rows([job.config.label for job in jobs], jobs, results,
+                       report)
+    print(report.summary(), file=sys.stderr)
+    if args.outcomes is not None:
+        _emit_json(report.to_dict(), args.outcomes)
     _emit_json({"spec": spec.name, "jobs": len(rows), "rows": rows},
                args.output)
     return 0
@@ -305,7 +373,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     setup = ExperimentSetup(parallel=args.parallel,
                             max_workers=args.max_workers,
-                            result_cache_dir=args.cache_dir)
+                            result_cache_dir=args.cache_dir,
+                            retries=args.retries,
+                            retry_delay=args.retry_delay,
+                            timeout=args.timeout)
     if args.accesses is not None:
         setup.num_accesses = args.accesses
     if args.per_category is not None:
@@ -316,9 +387,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     formats = _split_list(args.formats) if args.formats else None
     summary = generate_report(figures, out_dir=args.out_dir, setup=setup,
                               formats=formats,
-                              log=lambda line: print(line, file=sys.stderr))
+                              log=lambda line: print(line, file=sys.stderr),
+                              on_error=args.on_error)
+    skipped = (f", {len(summary.failures)} figure(s) skipped"
+               if summary.failures else "")
     print(f"wrote {len(summary.artifacts)} figure(s) to "
-          f"{summary.out_dir}/index.md in {summary.elapsed_s:.1f}s",
+          f"{summary.out_dir}/index.md in {summary.elapsed_s:.1f}s{skipped}",
           file=sys.stderr)
     return 0
 
@@ -539,7 +613,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size (default: cpu count)")
     sweep.add_argument("--cache-dir", default=None,
                        help="on-disk result cache directory (jobs found "
-                            "there are not re-run)")
+                            "there are not re-run; every finished job is "
+                            "checkpointed there the moment it completes)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep: requires "
+                            "--cache-dir, reports how many jobs are "
+                            "already checkpointed, and executes only the "
+                            "missing ones")
+    _add_resilience_flags(sweep)
+    sweep.add_argument("--outcomes", default=None, metavar="FILE",
+                       help="write the per-job outcome report (status/"
+                            "attempts/durations) as JSON here "
+                            "(--spec and ad-hoc modes)")
     sweep.add_argument("--pessimistic", action="store_true",
                        help="use Hermes-P instead of Hermes-O")
     sweep.add_argument("--warmup-fraction", type=float, default=None,
@@ -581,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cache-dir", default=None,
                         help="on-disk result cache directory shared across "
                              "figures (a warm cache re-runs no simulation)")
+    _add_resilience_flags(report)
     report.set_defaults(func=cmd_report)
 
     # ---- trace -------------------------------------------------------- #
@@ -659,6 +745,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs shared by ``sweep`` and ``report``."""
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts per failed/timed-out job "
+                             "(default: 0 — fail fast)")
+    parser.add_argument("--retry-delay", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="backoff before retry n: delay * 2^(n-1) "
+                             "seconds (default: 0)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock budget; a breach is a "
+                             "retriable timeout (default: unbounded)")
+    parser.add_argument("--on-error", choices=["raise", "skip"],
+                        default="raise",
+                        help="after every job reaches a terminal outcome: "
+                             "'raise' fails the command (completed jobs "
+                             "stay checkpointed), 'skip' degrades to "
+                             "partial results with failures reported "
+                             "(default: raise)")
+
+
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", default=None, metavar="FILE",
                         help="load the system configuration from this "
@@ -696,8 +804,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # is a genuine bug and must keep its traceback.
     from repro.config.overrides import OverridePathError
     from repro.registry import UnknownComponentError
+    from repro.runner.status import SweepError
     try:
         return args.func(args)
+    except SweepError as exc:
+        # Jobs failed after exhausting their attempt budget.  Completed
+        # jobs are checkpointed (with --cache-dir), so this exit is
+        # resumable; distinct code so wrappers can branch on it.
+        print(f"{PROG}: error: {exc}", file=sys.stderr)
+        return 3
     except (UnknownComponentError, OverridePathError) as exc:
         print(f"{PROG}: error: {exc}", file=sys.stderr)
         return 2

@@ -19,6 +19,7 @@ from repro.runner import (
     PredictorSpec,
     ProcessPoolBackend,
     ResultCache,
+    RetryPolicy,
     SerialBackend,
     SimJob,
     SweepSpec,
@@ -54,6 +55,15 @@ class ExperimentSetup:
     parallel: bool = False
     max_workers: Optional[int] = None
     result_cache_dir: Optional[Union[str, Path]] = None
+    #: Resilience knobs, threaded into every runner this setup builds:
+    #: ``retries`` extra attempts per job (0 = fail fast), with
+    #: ``retry_delay``-seconded exponential backoff and an optional
+    #: per-attempt ``timeout``; ``on_error="skip"`` returns None result
+    #: slots for exhausted jobs instead of raising SweepError.
+    retries: int = 0
+    retry_delay: float = 0.0
+    timeout: Optional[float] = None
+    on_error: str = "raise"
 
     def workload_names(self) -> List[str]:
         """The evaluation workload names for this setup, in suite order.
@@ -81,6 +91,12 @@ class ExperimentSetup:
             return ProcessPoolBackend(max_workers=self.max_workers)
         return SerialBackend()
 
+    def retry_policy(self) -> RetryPolicy:
+        """The per-job attempt budget/backoff/timeout for this setup."""
+        return RetryPolicy(max_attempts=self.retries + 1,
+                           base_delay=self.retry_delay,
+                           timeout=self.timeout)
+
     def runner(self) -> JobRunner:
         """A job runner honouring this setup's current execution knobs.
 
@@ -90,7 +106,9 @@ class ExperimentSetup:
         """
         cache = (ResultCache(self.result_cache_dir)
                  if self.result_cache_dir is not None else None)
-        return JobRunner(backend=self.make_backend(), result_cache=cache)
+        return JobRunner(backend=self.make_backend(), result_cache=cache,
+                         retry_policy=self.retry_policy(),
+                         on_error=self.on_error)
 
     def jobs(self, config: SystemConfig,
              predictor_spec: Optional[PredictorSpec] = None) -> List[SimJob]:

@@ -51,7 +51,9 @@ class _SharedCacheSetup(ExperimentSetup):
     def runner(self) -> JobRunner:
         """A job runner backed by the report-wide shared cache."""
         return JobRunner(backend=self.make_backend(),
-                         result_cache=self.shared_cache)
+                         result_cache=self.shared_cache,
+                         retry_policy=self.retry_policy(),
+                         on_error=self.on_error)
 
     @classmethod
     def wrap(cls, setup: ExperimentSetup) -> "_SharedCacheSetup":
@@ -81,11 +83,22 @@ class FigureArtifact:
 
 
 @dataclass
+class FigureFailure:
+    """A figure the report skipped because its sweep could not finish."""
+
+    figure_id: str
+    error: str
+
+
+@dataclass
 class ReportSummary:
     """What a report run produced, and how the result cache behaved."""
 
     out_dir: Path
     artifacts: List[FigureArtifact] = field(default_factory=list)
+    #: Figures skipped under ``on_error="skip"`` (always empty under
+    #: the default ``"raise"`` — the first failure propagates instead).
+    failures: List[FigureFailure] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_s: float = 0.0
@@ -97,7 +110,8 @@ class ReportSummary:
 
 
 def _index_markdown(artifacts: Sequence[FigureArtifact],
-                    renderers: Sequence[ReportRenderer]) -> str:
+                    renderers: Sequence[ReportRenderer],
+                    failures: Sequence[FigureFailure] = ()) -> str:
     """The ``index.md`` text linking every figure's artifacts."""
     lines: List[str] = []
     lines.append("# Paper report")
@@ -118,6 +132,16 @@ def _index_markdown(artifacts: Sequence[FigureArtifact],
             links.append(f"[{name}]({path.name})" if path is not None else "—")
         lines.append(f"| {artifact.figure_id} | {artifact.title} | "
                      + " | ".join(links) + " |")
+    if failures:
+        lines.append("")
+        lines.append("## Skipped figures")
+        lines.append("")
+        lines.append("These figures could not complete (run again with "
+                     "the same `--cache-dir` to resume from the finished "
+                     "cells):")
+        lines.append("")
+        for failure in failures:
+            lines.append(f"- **{failure.figure_id}** — {failure.error}")
     return "\n".join(lines) + "\n"
 
 
@@ -125,16 +149,26 @@ def generate_report(figures: Optional[Sequence[str]] = None,
                     out_dir: Union[str, Path] = "report",
                     setup: Optional[ExperimentSetup] = None,
                     formats: Optional[Sequence[str]] = None,
-                    log: Optional[LogFn] = None) -> ReportSummary:
+                    log: Optional[LogFn] = None,
+                    on_error: str = "raise") -> ReportSummary:
     """Run figures and write a self-contained ``report/`` directory.
 
     ``figures`` is a list of figure ids (``None`` = all 24, in paper
     order; an explicitly empty list is an error, never "everything");
     duplicates collapse to one run, and unknown ids fail fast before
     any simulation runs.  ``formats`` selects renderers by registry
-    name (default: all).  Returns a :class:`ReportSummary` with
-    per-figure artifacts and the aggregate result-cache counters.
+    name (default: all).  ``on_error="skip"`` degrades gracefully: a
+    figure whose sweep cannot finish (even after the setup's retries)
+    is skipped and listed — in the summary's ``failures`` and in a
+    "Skipped figures" index section — instead of aborting the report;
+    every job that *did* finish is already checkpointed, so a re-run
+    against the same cache resumes from the missing cells.  Returns a
+    :class:`ReportSummary` with per-figure artifacts and the aggregate
+    result-cache counters.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', "
+                         f"got {on_error!r}")
     if figures is None:
         requested = figure_ids()
     else:
@@ -157,7 +191,15 @@ def generate_report(figures: Optional[Sequence[str]] = None,
     for spec in specs:
         figure_started = time.perf_counter()
         emit(f"{spec.figure_id}: running {spec.runner_name} ...")
-        result: FigureResult = spec.collect(setup)
+        try:
+            result: FigureResult = spec.collect(setup)
+        except Exception as exc:  # noqa: BLE001 — degrade per figure
+            if on_error == "raise":
+                raise
+            error = f"{type(exc).__name__}: {exc}"
+            summary.failures.append(FigureFailure(spec.figure_id, error))
+            emit(f"{spec.figure_id}: SKIPPED — {error}")
+            continue
         files: Dict[str, Path] = {}
         for renderer in renderers:
             path = out_path / f"{spec.figure_id}.{renderer.extension}"
@@ -173,7 +215,8 @@ def generate_report(figures: Optional[Sequence[str]] = None,
         emit(f"{spec.figure_id}: {len(files)} artifact(s) in {elapsed:.1f}s")
 
     summary.index_path.write_text(_index_markdown(summary.artifacts,
-                                                  renderers),
+                                                  renderers,
+                                                  summary.failures),
                                   encoding="utf-8")
     if setup.shared_cache is not None:
         summary.cache_hits = setup.shared_cache.hits

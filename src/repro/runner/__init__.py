@@ -29,7 +29,8 @@ from repro.runner.backends import (
     SerialBackend,
 )
 from repro.runner.cache import ResultCache
-from repro.runner.execute import execute_job
+from repro.runner.execute import execute_job, run_job_attempt
+from repro.runner.faults import FaultError, FaultPlan, FaultSpec
 from repro.runner.job import (
     JOB_SCHEMA_VERSION,
     PredictorSpec,
@@ -39,6 +40,13 @@ from repro.runner.job import (
 )
 from repro.runner.runner import JobRunner
 from repro.runner.spec import SPEC_VERSION, Axis, AxisPoint, ExperimentSpec
+from repro.runner.status import (
+    JobOutcome,
+    JobTimeoutError,
+    RetryPolicy,
+    SweepError,
+    SweepReport,
+)
 
 __all__ = [
     "JOB_SCHEMA_VERSION",
@@ -51,9 +59,18 @@ __all__ = [
     "PredictorSpec",
     "jobs_for_suite",
     "execute_job",
+    "run_job_attempt",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "ResultCache",
     "JobRunner",
+    "JobOutcome",
+    "JobTimeoutError",
+    "RetryPolicy",
+    "SweepError",
+    "SweepReport",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
 ]

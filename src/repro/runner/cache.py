@@ -2,42 +2,101 @@
 
 Results are keyed by :meth:`SimJob.key` — a content hash of the full
 declarative job spec — so a cached entry is valid exactly as long as
-the job it came from is byte-for-byte the same sweep point.  Entries
-are pickles written atomically; unreadable entries are treated as
-misses so a corrupt file can never poison a sweep.
+the job it came from is byte-for-byte the same sweep point.
+
+The store is built for crash-resume and concurrent writers:
+
+* **Entry format** — ``MAGIC + sha256(payload) + payload`` where the
+  payload is the pickled result.  The embedded checksum distinguishes
+  "this entry is whole" from "a writer died mid-flight / the disk bit-
+  flipped": a half-written or tampered entry can never be served.
+  Legacy bare-pickle entries (pre-checksum) still read.
+* **Quarantine** — an unreadable entry is renamed to ``*.corrupt``
+  (keeping the evidence for post-mortems) and reported as a miss, so
+  the job re-executes and the next ``put`` heals the slot.  Silently
+  treating corruption as a miss *without* moving the file would re-miss
+  the same bytes forever.
+* **Atomic, last-wins writes** — ``put`` stages the entry in a
+  ``mkstemp`` temp file and ``os.replace``\\ s it over the key, so
+  readers never observe a partial entry and two processes putting the
+  same key race harmlessly (results are deterministic per key, so both
+  writers carry identical bytes).  Temp files orphaned by crashed
+  writers are swept on init once they are stale, and by :meth:`clear`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.runner.job import SimJob
 
+#: Leads every checksummed entry; absence marks a legacy bare pickle.
+MAGIC = b"repro-result-cache:v1\n"
+
+_DIGEST_BYTES = 32  # sha256
+
+#: A ``.tmp`` older than this is an orphan of a dead writer, not a
+#: write in progress (writes take milliseconds), and is swept on init.
+STALE_TMP_SECONDS = 3600.0
+
 
 class ResultCache:
-    """A directory of pickled results keyed by job content hash."""
+    """A directory of checksummed pickled results keyed by job hash."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entries quarantined to ``*.corrupt`` since construction.
+        self.quarantined = 0
+        self._sweep_stale_tmp()
 
     def path_for(self, job: SimJob) -> Path:
         return self.directory / f"{job.key()}.pkl"
 
+    def has(self, job: SimJob) -> bool:
+        """Whether an entry exists for ``job`` (existence only — the
+        entry may still fail checksum validation on :meth:`get`).
+        Touches no counters; used for resume previews."""
+        return self.path_for(job).exists()
+
     def get(self, job: SimJob) -> Optional[Any]:
         path = self.path_for(job)
         try:
-            with path.open("rb") as handle:
-                result = pickle.load(handle)
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        if raw.startswith(MAGIC):
+            digest = raw[len(MAGIC):len(MAGIC) + _DIGEST_BYTES]
+            payload = raw[len(MAGIC) + _DIGEST_BYTES:]
+            if (len(digest) == _DIGEST_BYTES
+                    and hashlib.sha256(payload).digest() == digest):
+                try:
+                    result = pickle.loads(payload)
+                except Exception:
+                    # Checksum held but the payload no longer unpickles
+                    # (class moved/renamed since it was written).
+                    self._quarantine(path)
+                    self.misses += 1
+                    return None
+                self.hits += 1
+                return result
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        # Legacy bare-pickle entry (written before checksums existed).
+        try:
+            result = pickle.loads(raw)
         except Exception:
-            # Any unreadable entry (truncated file, protocol error, class
-            # moved since it was written, ...) is a miss, never a crash.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -45,10 +104,12 @@ class ResultCache:
 
     def put(self, job: SimJob, result: Any) -> None:
         path = self.path_for(job)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MAGIC + hashlib.sha256(payload).digest() + payload
         fd, tmp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -57,14 +118,45 @@ class ResultCache:
                 pass
             raise
 
-    def clear(self) -> None:
-        for path in self.directory.glob("*.pkl"):
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside so the slot can heal.
+
+        Renaming (not deleting) keeps the corrupt bytes inspectable;
+        the rename is atomic, so a concurrent reader either still sees
+        the corrupt entry (and loses the rename race harmlessly) or a
+        clean miss.
+        """
+        try:
+            os.replace(path, Path(f"{path}.corrupt"))
+        except OSError:
+            pass  # another reader quarantined it first, or it vanished
+        self.quarantined += 1
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by writers that died mid-put.
+
+        Age-gated so a *live* concurrent writer's staging file is never
+        yanked out from under its ``os.replace``.
+        """
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for tmp in self.directory.glob("*.tmp"):
             try:
-                path.unlink()
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
             except OSError:
                 pass
+
+    def clear(self) -> None:
+        """Drop every entry, plus orphaned temp and quarantined files."""
+        for pattern in ("*.pkl", "*.tmp", "*.corrupt"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -1,19 +1,29 @@
-"""Job execution: the one function every backend maps over jobs.
+"""Job execution: the functions every backend maps over jobs.
 
-Must stay a top-level module function so
-:class:`~repro.runner.backends.ProcessPoolBackend` can pickle a
-reference to it; the job itself carries only declarative state, and the
-traces/predictors are rebuilt deterministically here (hitting each
+Both entry points must stay top-level module functions so
+:class:`~repro.runner.backends.ProcessPoolBackend` can pickle
+references to them; the job itself carries only declarative state, and
+the traces/predictors are rebuilt deterministically here (hitting each
 worker process's own trace cache across jobs).  Workload names resolve
 through :func:`repro.workloads.suite.make_trace`, so a job may name a
 catalogue workload or an external trace file.
+
+:func:`execute_job` is the bare single-attempt primitive;
+:func:`run_job_attempt` is what the fault-tolerant backends submit — it
+adds the per-attempt SIGALRM deadline (the timeout fires *inside* the
+worker, so a hung job becomes an ordinary retriable exception and the
+pool stays healthy) and the :mod:`repro.runner.faults` injection hook.
 """
 
 from __future__ import annotations
 
-from typing import Union
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
 
 from repro.runner.job import SimJob
+from repro.runner.status import JobTimeoutError
 from repro.sim.multicore import MultiCoreResult, simulate_multicore
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate_trace
@@ -30,3 +40,45 @@ def execute_job(job: SimJob) -> JobResult:
     trace = make_trace(job.workload, job.num_accesses)
     predictor = job.predictor_spec.build() if job.predictor_spec else None
     return simulate_trace(job.config, trace, predictor=predictor)
+
+
+@contextmanager
+def _deadline(timeout: Optional[float]) -> Iterator[None]:
+    """Raise :class:`JobTimeoutError` in-thread after ``timeout`` seconds.
+
+    SIGALRM-based, so it interrupts even a sleeping attempt; only
+    enforceable on the main thread of a POSIX process (exactly where
+    pool workers and the serial backend run jobs).  Elsewhere the block
+    runs unbounded — the parent-side deadline backstop in the pool
+    backend still catches a truly lost worker.
+    """
+    if (timeout is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise JobTimeoutError(f"attempt exceeded its {timeout:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_job_attempt(job: SimJob, attempt: int = 1,
+                    timeout: Optional[float] = None) -> JobResult:
+    """One bounded, fault-injectable attempt at ``job``.
+
+    The unit the fault-tolerant backends submit: applies any active
+    :mod:`~repro.runner.faults` plan (keyed by the job's content hash,
+    so injection crosses the process-pool boundary via ``REPRO_FAULTS``
+    alone), then executes under the per-attempt deadline.
+    """
+    from repro.runner.faults import apply_faults
+    with _deadline(timeout):
+        apply_faults(job, attempt)
+        return execute_job(job)

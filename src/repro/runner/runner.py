@@ -2,51 +2,96 @@
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.runner.backends import ExecutionBackend, SerialBackend
 from repro.runner.cache import ResultCache
 from repro.runner.job import SimJob, SweepSpec
+from repro.runner.status import JobOutcome, RetryPolicy, SweepError, SweepReport
+
+#: Accepted partial-result policies.
+ON_ERROR_MODES = ("raise", "skip")
 
 
 class JobRunner:
     """Executes job lists, consulting the result cache before the backend.
 
-    Cache hits never reach the backend; misses are executed in one
-    backend batch (so a process pool sees the whole remaining sweep at
-    once) and written back afterwards.  Results always come back in job
-    order.
+    Cache hits never reach the backend; misses go to the backend as one
+    batch (so a process pool sees the whole remaining sweep at once) —
+    but each result is **checkpointed to the cache the moment its job
+    completes**, not when the batch returns.  Kill the process mid-sweep
+    and every finished job survives: re-running the same sweep executes
+    only the missing jobs.  Results always come back in job order.
+
+    ``retry_policy`` sets the per-job attempt budget / backoff / timeout
+    the backend enforces; ``on_error`` decides what a sweep with failed
+    jobs does — ``"raise"`` (default) raises :class:`SweepError` *after*
+    every job has reached a terminal outcome (so the checkpointed work
+    is never lost to one bad cell), ``"skip"`` returns ``None`` in the
+    failed jobs' result slots and lets the caller consult the
+    :class:`SweepReport` for what is missing.
     """
 
     def __init__(self, backend: Optional[ExecutionBackend] = None,
-                 result_cache: Optional[ResultCache] = None) -> None:
+                 result_cache: Optional[ResultCache] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 on_error: str = "raise") -> None:
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, "
+                             f"got {on_error!r}")
         self.backend = backend or SerialBackend()
         self.result_cache = result_cache
+        self.retry_policy = retry_policy
+        self.on_error = on_error
 
     def run(self, jobs: Sequence[SimJob]) -> List[Any]:
+        """Results in job order (``None`` holes under ``on_error="skip"``)."""
+        return self.run_report(jobs)[0]
+
+    def run_report(self, jobs: Sequence[SimJob],
+                   name: str = "sweep") -> Tuple[List[Any], SweepReport]:
+        """Run ``jobs`` and return (results, per-job outcome report).
+
+        The report accounts for every job: cache hits appear as ``ok``
+        outcomes with ``cached=True`` and zero attempts, executed jobs
+        carry their attempt counts and durations.
+        """
         jobs = list(jobs)
         results: List[Any] = [None] * len(jobs)
-        if self.result_cache is not None:
-            pending: List[SimJob] = []
-            pending_indices: List[int] = []
-            for index, job in enumerate(jobs):
-                cached = self.result_cache.get(job)
-                if cached is not None:
-                    results[index] = cached
-                else:
-                    pending.append(job)
-                    pending_indices.append(index)
-        else:
-            pending = jobs
-            pending_indices = list(range(len(jobs)))
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        pending: List[SimJob] = []
+        pending_indices: List[int] = []
+        for index, job in enumerate(jobs):
+            cached = (self.result_cache.get(job)
+                      if self.result_cache is not None else None)
+            if cached is not None:
+                results[index] = cached
+                outcomes[index] = JobOutcome(
+                    index=index, key=job.key(), status="ok", attempts=0,
+                    cached=True, result=cached)
+            else:
+                pending.append(job)
+                pending_indices.append(index)
 
         if pending:
-            computed = self.backend.map_jobs(pending)
-            for index, job, result in zip(pending_indices, pending, computed):
-                results[index] = result
-                if self.result_cache is not None:
-                    self.result_cache.put(job, result)
-        return results
+            def checkpoint(job: SimJob, outcome: JobOutcome) -> None:
+                # Fires in the parent the moment one job finishes — the
+                # incremental durability point a mid-sweep crash rewinds
+                # to, never further.
+                if outcome.ok and self.result_cache is not None:
+                    self.result_cache.put(job, outcome.result)
+
+            computed = self.backend.run_outcomes(pending, self.retry_policy,
+                                                 on_complete=checkpoint)
+            for global_index, outcome in zip(pending_indices, computed):
+                outcome.index = global_index  # backend indexed the sub-batch
+                outcomes[global_index] = outcome
+                results[global_index] = outcome.result
+
+        report = SweepReport(name=name, outcomes=list(outcomes))
+        if report.failures and self.on_error == "raise":
+            raise SweepError(report)
+        return results, report
 
     def run_sweep(self, spec: SweepSpec) -> Any:
         """Execute a sweep's jobs and apply its reducer."""

@@ -539,15 +539,17 @@ def test_unknown_component_error_survives_pickling():
 
 
 def test_parallel_backend_reports_unknown_component_cleanly():
-    """A bad config in a pooled sweep raises the real error, not
-    BrokenProcessPool."""
-    from repro.registry import UnknownComponentError
-    from repro.runner import JobRunner, ProcessPoolBackend
+    """A bad config in a pooled sweep surfaces the real error — the
+    SweepError names the offending component per failed job, never a
+    bare BrokenProcessPool."""
+    from repro.runner import JobRunner, ProcessPoolBackend, SweepError
     bad = apply_overrides(SystemConfig(), {"prefetcher": "warp-drive"})
     jobs = [SimJob(config=bad, workload=name, num_accesses=400)
             for name in ("ligra.bfs", "spec06.stencil")]
-    with pytest.raises(UnknownComponentError, match="warp-drive"):
+    with pytest.raises(SweepError, match="warp-drive") as excinfo:
         JobRunner(ProcessPoolBackend(max_workers=2)).run(jobs)
+    assert "UnknownComponentError" in str(excinfo.value)
+    assert "BrokenProcessPool" not in str(excinfo.value)
 
 
 def test_override_path_error_is_distinct_keyerror():

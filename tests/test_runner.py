@@ -137,9 +137,9 @@ class _CountingBackend(SerialBackend):
     def __init__(self):
         self.executed = 0
 
-    def map_jobs(self, jobs):
+    def run_outcomes(self, jobs, policy=None, on_complete=None):
         self.executed += len(jobs)
-        return super().map_jobs(jobs)
+        return super().run_outcomes(jobs, policy, on_complete)
 
 
 def test_result_cache_short_circuits_backend(tmp_path):
