@@ -66,6 +66,13 @@ from repro.report import (
     figure_ids,
     get_figure,
 )
+from repro.service import (
+    LoadDriver,
+    ServiceClient,
+    ServiceDaemon,
+    ServiceError,
+    SimService,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate_stream, simulate_trace
@@ -96,6 +103,9 @@ __all__ = [
     # reporting
     "REPORT_SCHEMA_VERSION", "FigureResult", "figure_ids", "get_figure",
     "report",
+    # simulation as a service
+    "SimService", "ServiceDaemon", "ServiceClient", "ServiceError",
+    "LoadDriver", "serve",
 ]
 
 
@@ -195,6 +205,38 @@ def sweep_report(spec: Union[ExperimentSpec, SweepSpec, Sequence[SimJob]], *,
     else:
         jobs, name = list(spec), "sweep"
     return runner.run_report(jobs, name=name)
+
+
+def serve(*, host: str = "127.0.0.1", port: int = 0,
+          cache_dir: Optional[Union[str, Path]] = None,
+          max_workers: Optional[int] = None,
+          retries: int = 0,
+          retry_delay: float = 0.0,
+          timeout: Optional[float] = None) -> ServiceDaemon:
+    """Start an in-process simulation daemon (CLI: ``repro serve``).
+
+    Returns the started :class:`ServiceDaemon` — its HTTP server is
+    already accepting requests on a background thread; read the bound
+    address from ``.url`` (``port=0`` binds an ephemeral port) and stop
+    it with ``.shutdown()`` + ``.close()``::
+
+        daemon = api.serve(cache_dir="cache/")
+        client = api.ServiceClient(daemon.url)
+        ...
+        daemon.shutdown(); daemon.close()
+
+    The keywords mirror ``repro serve``: jobs get ``1 + retries``
+    attempts with exponential backoff and an optional per-job
+    wall-clock ``timeout``; with ``cache_dir`` completed jobs survive
+    daemon restarts.
+    """
+    policy = RetryPolicy(max_attempts=retries + 1, base_delay=retry_delay,
+                         timeout=timeout)
+    service = SimService(cache_dir=cache_dir, max_workers=max_workers,
+                         retry_policy=policy)
+    daemon = ServiceDaemon(service, host=host, port=port)
+    daemon.start()
+    return daemon
 
 
 def report(figures: Optional[Sequence[str]] = None, *,

@@ -87,22 +87,12 @@ def _resolve_config(args: argparse.Namespace):
 def _result_payload(result) -> Dict[str, Any]:
     """One simulation result as a JSON-ready dictionary.
 
-    ``summary`` is the flat row used by the paper's CSV roll-ups;
-    ``detail`` carries every stats section the simulator emits (the same
-    shape as the golden-equivalence fingerprints).
+    Delegates to the service wire format so a job simulated locally by
+    ``repro run`` and one served remotely by ``repro serve`` produce
+    the same ``summary`` + ``detail`` document.
     """
-    return {
-        "summary": result.as_dict(),
-        "detail": {
-            "core": result.core.as_dict(),
-            "hierarchy": result.hierarchy,
-            "memory_controller": result.memory_controller,
-            "predictor": result.predictor,
-            "hermes": result.hermes,
-            "llc": result.llc,
-            "prefetcher": result.prefetcher,
-        },
-    }
+    from repro.service.protocol import result_to_payload
+    return result_to_payload(result)
 
 
 def _split_list(values: Sequence[str]) -> List[str]:
@@ -532,6 +522,109 @@ def cmd_bench(forwarded: Sequence[str]) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# repro serve / repro submit
+# ---------------------------------------------------------------------- #
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation-as-a-service daemon until interrupted.
+
+    Wraps the runner stack (retry policy + checksummed result cache) in
+    a :class:`~repro.service.server.SimService` behind an HTTP JSON
+    front-end.  With ``--cache-dir`` a restarted daemon serves every
+    previously completed job from the cache without re-simulating.
+    """
+    from repro.runner import RetryPolicy
+    from repro.service.server import ServiceDaemon, SimService
+
+    policy = RetryPolicy(max_attempts=args.retries + 1,
+                         base_delay=args.retry_delay,
+                         timeout=args.timeout)
+    service = SimService(cache_dir=args.cache_dir,
+                         max_workers=args.max_workers,
+                         retry_policy=policy)
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+    if args.port_file is not None:
+        # For scripts booting an ephemeral-port daemon: the port is
+        # only knowable after bind, so publish it through a file.
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{daemon.port}\n")
+    print(f"serving on {daemon.url} "
+          f"(cache: {args.cache_dir or 'off'}, "
+          f"retries: {args.retries}, "
+          f"timeout: {args.timeout if args.timeout is not None else 'off'})",
+          file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        daemon.close()
+    print("service stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit work to a running daemon and (by default) await results."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server, timeout=args.request_timeout)
+    try:
+        if args.spec is not None:
+            if args.workload is not None:
+                raise ValueError(
+                    "--spec and --workload are mutually exclusive")
+            # Ship the spec *document*: expansion happens server-side,
+            # so the daemon's job table sees the same content hashes an
+            # on-box `repro sweep --spec` run would.
+            from repro.config import load_document
+            submission = client.submit(spec=load_document(args.spec),
+                                       accesses=args.accesses)
+        else:
+            if args.workload is None:
+                raise ValueError(
+                    "submit needs --spec FILE or --workload NAME")
+            from repro.runner import SimJob
+            config = _build_config(args.prefetcher, args.predictor,
+                                   args.pessimistic, None)
+            workloads = _split_list([args.workload])
+            accesses = 20000 if args.accesses is None else args.accesses
+            jobs = [SimJob(config=config, workload=workload,
+                           num_accesses=accesses)
+                    for workload in workloads]
+            submission = client.submit(jobs=jobs)
+        print(f"ticket {submission.ticket}: {len(submission.jobs)} job(s) "
+              f"submitted", file=sys.stderr)
+
+        if args.no_wait:
+            _emit_json({"ticket": submission.ticket,
+                        "jobs": submission.jobs}, args.output)
+            return 0
+        if args.stream:
+            # One JSONL line per job in completion order, forwarded as
+            # it arrives; summary verdict at the end.
+            failed = 0
+            for doc in client.stream(submission):
+                failed += doc["status"] != "done"
+                sys.stdout.write(json.dumps(doc, sort_keys=True) + "\n")
+                sys.stdout.flush()
+            return 3 if failed else 0
+        doc = client.wait(submission, timeout=args.wait_timeout)
+        failed = [job for job in doc["jobs"] if job["status"] != "done"]
+        for job in failed:
+            print(f"job {job['key'][:12]}…: {job['status']}"
+                  + (f" ({job['error']})" if job.get("error") else ""),
+                  file=sys.stderr)
+        _emit_json(doc, args.output)
+        return 3 if failed else 0
+    except ServiceError as exc:
+        print(f"{PROG}: service error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"{PROG}: {exc}", file=sys.stderr)
+        return 3
+
+
+# ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
 
@@ -732,6 +825,76 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", help="list every dotted override path accepted by --set "
                       "and spec axes")
     paths.set_defaults(func=cmd_config_paths)
+
+    # ---- serve -------------------------------------------------------- #
+    serve = subparsers.add_parser(
+        "serve", help="run the simulation-as-a-service daemon (JSON over "
+                      "HTTP, single-flight job dedup)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8377)")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound port number to this file "
+                            "after startup (for scripts using --port 0)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared on-disk result cache: completed jobs "
+                            "survive daemon restarts and are never "
+                            "re-simulated")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="simulation worker threads (default: 2)")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="extra attempts per failed job (default: 0)")
+    serve.add_argument("--retry-delay", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="backoff before retry n: delay * 2^(n-1) "
+                            "seconds (default: 0)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget from execution "
+                            "start (default: unbounded)")
+    serve.set_defaults(func=cmd_serve)
+
+    # ---- submit ------------------------------------------------------- #
+    submit = subparsers.add_parser(
+        "submit", help="submit jobs to a running daemon and await results")
+    submit.add_argument("--server", required=True, metavar="URL",
+                        help="service base URL, e.g. http://127.0.0.1:8377")
+    submit.add_argument("--spec", default=None, metavar="FILE",
+                        help="submit this TOML/JSON experiment-spec file "
+                             "(expanded server-side)")
+    submit.add_argument("--workload", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="catalogue workload(s) for an ad-hoc "
+                             "submission (instead of --spec)")
+    submit.add_argument("--prefetcher", default=None,
+                        help="ad-hoc submission prefetcher "
+                             "(default: pythia)")
+    submit.add_argument("--predictor", default=None,
+                        help="ad-hoc submission off-chip predictor "
+                             "(default: no Hermes)")
+    submit.add_argument("--pessimistic", action="store_true",
+                        help="use Hermes-P instead of Hermes-O")
+    submit.add_argument("--accesses", type=int, default=None,
+                        help="accesses per job (ad-hoc default: 20000; "
+                             "for --spec: server-side sizing override)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the ticket and return immediately "
+                             "instead of awaiting results")
+    submit.add_argument("--stream", action="store_true",
+                        help="print one JSON line per job in completion "
+                             "order instead of one final document")
+    submit.add_argument("--wait-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="completion budget when awaiting results "
+                             "(default: 300)")
+    submit.add_argument("--request-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="HTTP round-trip timeout (default: 60)")
+    submit.add_argument("--output", default="-",
+                        help="JSON destination (default: stdout)")
+    submit.set_defaults(func=cmd_submit)
 
     # ---- bench -------------------------------------------------------- #
     # Registered for the top-level help listing only; `main` intercepts

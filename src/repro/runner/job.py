@@ -82,6 +82,82 @@ class SimJob:
             # Normalise lists to tuples so equality and hashing are stable.
             object.__setattr__(self, "workload", tuple(self.workload))
 
+    def to_dict(self) -> Dict[str, Any]:
+        """This job as a JSON-ready document (the service wire format).
+
+        Stamped with :data:`JOB_SCHEMA_VERSION` so a client built against
+        a different job schema is rejected loudly instead of silently
+        computing a different cache key.  ``from_dict`` inverts it
+        exactly: a job round-tripped through the wire hashes to the same
+        :meth:`key`, which is what lets remote submissions deduplicate
+        against locally cached results.
+        """
+        doc: Dict[str, Any] = {
+            "job_schema": JOB_SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "workload": (self.workload if isinstance(self.workload, str)
+                         else list(self.workload)),
+            "num_accesses": self.num_accesses,
+            "mode": self.mode,
+        }
+        if self.predictor_spec is not None:
+            doc["predictor"] = {"name": self.predictor_spec.name,
+                                "options": dict(self.predictor_spec.options)}
+        if self.dram is not None:
+            doc["dram"] = self.dram.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "SimJob":
+        """Build a job from its :meth:`to_dict` document (strict).
+
+        Unknown keys and schema mismatches raise :class:`ValueError`;
+        the embedded config parses through the strict
+        :meth:`~repro.config.schema.SerializableConfig.from_dict`.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"job document must be an object, got {type(doc).__name__}")
+        accepted = {"job_schema", "config", "workload", "num_accesses",
+                    "mode", "predictor", "dram"}
+        unknown = sorted(set(doc) - accepted)
+        if unknown:
+            raise ValueError(f"unknown job key(s) {unknown}; "
+                             f"accepted: {sorted(accepted)}")
+        schema = doc.get("job_schema")
+        if schema != JOB_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported job_schema {schema!r} "
+                f"(this build reads {JOB_SCHEMA_VERSION})")
+        for required in ("config", "workload", "num_accesses"):
+            if required not in doc:
+                raise ValueError(f"job document is missing {required!r}")
+        accesses = doc["num_accesses"]
+        if not isinstance(accesses, int) or isinstance(accesses, bool):
+            raise ValueError("job 'num_accesses' must be an integer")
+        workload = doc["workload"]
+        if isinstance(workload, list):
+            workload = tuple(str(name) for name in workload)
+        predictor_spec = None
+        predictor = doc.get("predictor")
+        if predictor is not None:
+            if (not isinstance(predictor, dict)
+                    or set(predictor) - {"name", "options"}
+                    or "name" not in predictor):
+                raise ValueError("job 'predictor' must be an object with "
+                                 "'name' and optional 'options'")
+            predictor_spec = PredictorSpec(
+                name=predictor["name"],
+                options=dict(predictor.get("options", {})))
+        dram = doc.get("dram")
+        return cls(config=SystemConfig.from_dict(doc["config"]),
+                   workload=workload,
+                   num_accesses=doc["num_accesses"],
+                   mode=doc.get("mode", "single"),
+                   predictor_spec=predictor_spec,
+                   dram=(DRAMConfig.from_dict(dram)
+                         if dram is not None else None))
+
     def key(self) -> str:
         """A stable content hash of this job (on-disk cache key).
 

@@ -1,0 +1,13 @@
+"""``python -m repro.service`` — the load-driver CLI.
+
+The package entry point runs the load driver (the only service tool
+that is not a ``repro`` subcommand; the daemon and client live behind
+``repro serve`` / ``repro submit``).  Running the package avoids the
+runpy double-import warning that ``python -m repro.service.driver``
+would emit, because :mod:`repro.service` re-exports the driver names.
+"""
+
+from repro.service.driver import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

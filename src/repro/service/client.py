@@ -1,0 +1,240 @@
+"""The thin service client behind ``repro submit``.
+
+Stdlib-only (``urllib``): submit a job list / spec document, poll job
+and ticket status, long-poll completion through the server-side
+``wait`` parameter, or stream results as they complete.  Every
+response body is the server's canonical JSON, so two clients fetching
+the same job can compare the raw text for byte identity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.service.protocol import PROTOCOL_VERSION
+
+#: Cap on one long-poll round trip; waits longer than this are split
+#: into several server-side waits so intermediate proxies or slow
+#: accepts cannot strand the client.
+_WAIT_SLICE_S = 10.0
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error answered by (or on the way to) the service.
+
+    ``status`` is the HTTP status code, or None for transport failures
+    (connection refused, daemon gone).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Submission:
+    """What ``submit`` returns: the ticket plus the per-job statuses."""
+
+    ticket: str
+    name: str
+    jobs: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def keys(self) -> List[str]:
+        return [doc["key"] for doc in self.jobs]
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for one simulation daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Any] = None,
+                 timeout: Optional[float] = None) -> Any:
+        raw = self._request_raw(method, path, body, timeout)
+        return json.loads(raw.decode("utf-8"))
+
+    def _request_raw(self, method: str, path: str,
+                     body: Optional[Any] = None,
+                     timeout: Optional[float] = None) -> bytes:
+        """One round trip; returns the raw (canonical) response bytes."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(self.base_url + path, data=data,
+                                 headers=headers, method=method)
+        try:
+            with urlrequest.urlopen(
+                    req, timeout=self.timeout if timeout is None
+                    else timeout) as response:
+                return response.read()
+        except urlerror.HTTPError as exc:
+            raise ServiceError(self._error_message(exc),
+                               status=exc.code) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from None
+
+    @staticmethod
+    def _error_message(exc: "urlerror.HTTPError") -> str:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return payload["error"]
+        except Exception:
+            return f"HTTP {exc.code}: {exc.reason}"
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        doc = self._request("GET", "/v1/health")
+        if doc.get("protocol") != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"server speaks protocol {doc.get('protocol')!r}, "
+                f"this client speaks {PROTOCOL_VERSION}")
+        return doc
+
+    def stats(self, detail: bool = False) -> Dict[str, Any]:
+        return self._request("GET",
+                             "/v1/stats" + ("?detail=1" if detail else ""))
+
+    def submit(self, jobs: Optional[Sequence[Any]] = None,
+               spec: Optional[Any] = None,
+               accesses: Optional[int] = None) -> Submission:
+        """Submit a job list or an experiment-spec document.
+
+        ``jobs`` may hold :class:`~repro.runner.job.SimJob` instances or
+        ready job documents; ``spec`` an
+        :class:`~repro.runner.spec.ExperimentSpec` or its document form
+        (with ``accesses`` optionally resizing it server-side).
+        """
+        if (jobs is None) == (spec is None):
+            raise ValueError("submit() needs exactly one of jobs= or spec=")
+        envelope: Dict[str, Any] = {"protocol": PROTOCOL_VERSION}
+        if jobs is not None:
+            envelope["jobs"] = [job.to_dict() if hasattr(job, "to_dict")
+                                else job for job in jobs]
+        else:
+            if hasattr(spec, "jobs") and not isinstance(spec, dict):
+                # An ExperimentSpec object: expand client-side so the
+                # sizing the caller sees is exactly what is submitted.
+                jobs_list = spec.jobs()
+                envelope["jobs"] = [job.to_dict() for job in jobs_list]
+            else:
+                envelope["spec"] = spec
+                if accesses is not None:
+                    envelope["accesses"] = accesses
+        doc = self._request("POST", "/v1/jobs", body=envelope)
+        return Submission(ticket=doc["ticket"], name=doc["name"],
+                          jobs=doc["jobs"])
+
+    def job(self, key: str, wait: Optional[float] = None) -> Dict[str, Any]:
+        """One job's status document (result inline once done)."""
+        path = f"/v1/jobs/{key}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path,
+                             timeout=None if wait is None
+                             else self.timeout + wait)
+
+    def job_raw(self, key: str) -> bytes:
+        """The raw canonical response bytes of one job's status.
+
+        For byte-identity assertions: every client of the same done job
+        receives exactly these bytes.
+        """
+        return self._request_raw("GET", f"/v1/jobs/{key}")
+
+    def result(self, key: str,
+               wait: Optional[float] = None) -> Dict[str, Any]:
+        """The result payload of one job; raises if it is not ``done``."""
+        doc = self.job(key, wait=wait)
+        if doc["status"] != "done":
+            raise ServiceError(
+                f"job {key} is {doc['status']!r}"
+                + (f": {doc['error']}" if doc.get("error") else ""))
+        return doc["result"]
+
+    def ticket(self, ticket: str, wait: Optional[float] = None,
+               results: bool = False) -> Dict[str, Any]:
+        """A whole submission's status (optionally with result payloads)."""
+        params = []
+        if wait is not None:
+            params.append(f"wait={wait:g}")
+        if results:
+            params.append("results=1")
+        path = f"/v1/tickets/{ticket}"
+        if params:
+            path += "?" + "&".join(params)
+        return self._request("GET", path,
+                             timeout=None if wait is None
+                             else self.timeout + wait)
+
+    def wait(self, submission: Union[Submission, str],
+             timeout: float = 300.0) -> Dict[str, Any]:
+        """Block until every job of a submission is terminal.
+
+        Long-polls server-side in bounded slices; raises
+        :class:`TimeoutError` when the budget runs out.  Returns the
+        final ticket document including result payloads.
+        """
+        ticket = (submission.ticket if isinstance(submission, Submission)
+                  else submission)
+        remaining = timeout
+        while True:
+            wait_slice = max(0.0, min(_WAIT_SLICE_S, remaining))
+            doc = self.ticket(ticket, wait=wait_slice, results=True)
+            if doc["complete"]:
+                return doc
+            remaining -= wait_slice
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"ticket {ticket}: {doc['terminal']}/{doc['total']} "
+                    f"job(s) terminal after {timeout:g}s")
+
+    def stream(self, submission: Union[Submission, str],
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield one status document per job, in completion order.
+
+        Reads the server's JSONL stream; each yielded document is
+        terminal and carries the result payload when ``done``.
+        """
+        ticket = (submission.ticket if isinstance(submission, Submission)
+                  else submission)
+        req = urlrequest.Request(
+            self.base_url + f"/v1/tickets/{ticket}/stream",
+            headers={"Accept": "application/x-ndjson"})
+        try:
+            response = urlrequest.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout)
+        except urlerror.HTTPError as exc:
+            raise ServiceError(self._error_message(exc),
+                               status=exc.code) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from None
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to shut down cleanly."""
+        return self._request("POST", "/v1/shutdown", body={})

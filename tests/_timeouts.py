@@ -1,0 +1,34 @@
+"""Wall-clock scaling for timing-sensitive tests.
+
+Resilience and service tests assert real wall-clock behaviour (attempt
+timeouts, kill -9 windows, daemon polls), so their budgets are tuned
+for a developer-class machine.  On slow or heavily shared runners
+(emulated CI architectures, saturated containers) the same budgets
+produce flaky failures that have nothing to do with the code under
+test.
+
+``REPRO_TEST_TIMEOUT_SCALE`` is the single knob: a float multiplier
+(default ``1``) applied to every wall-clock constant routed through
+:func:`scaled`.  CI sets it per job (see ``.github/workflows/ci.yml``);
+a developer on a loaded laptop can export ``REPRO_TEST_TIMEOUT_SCALE=3``
+and re-run.
+
+Only *budgets* scale (how long we are willing to wait); the injected
+fault parameters they race against (e.g. ``hang_s=3600``) stay fixed,
+so a scaled run still proves the timeout fired, just with more slack.
+"""
+
+from __future__ import annotations
+
+import os
+
+SCALE = float(os.environ.get("REPRO_TEST_TIMEOUT_SCALE", "1") or "1")
+if SCALE <= 0:
+    raise RuntimeError(
+        f"REPRO_TEST_TIMEOUT_SCALE must be a positive float, "
+        f"got {os.environ.get('REPRO_TEST_TIMEOUT_SCALE')!r}")
+
+
+def scaled(seconds: float) -> float:
+    """``seconds`` scaled by the environment's timeout multiplier."""
+    return seconds * SCALE

@@ -15,10 +15,13 @@ SRC = REPO_ROOT / "src"
 
 
 def run_cli(*args: str, stdin_data: bytes = b"",
-            expect_rc: int = 0) -> subprocess.CompletedProcess:
+            expect_rc: int = 0,
+            extra_env: dict = None) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if extra_env:
+        env.update(extra_env)
     proc = subprocess.run([sys.executable, "-m", "repro", *args],
                           input=stdin_data, capture_output=True, env=env,
                           timeout=300)
@@ -29,7 +32,8 @@ def run_cli(*args: str, stdin_data: bytes = b"",
 
 def test_help_screens():
     for args in ([], ["run"], ["sweep"], ["trace"], ["trace", "generate"],
-                 ["trace", "convert"], ["trace", "inspect"], ["bench"]):
+                 ["trace", "convert"], ["trace", "inspect"], ["bench"],
+                 ["serve"], ["submit"]):
         proc = run_cli(*args, "--help")
         assert b"usage:" in proc.stdout.lower()
 
@@ -222,6 +226,56 @@ offchip_predictor = "popet"
     assert len(list(cache.glob("*.pkl"))) == 2
     run_cli(*args)
     assert json.loads(out.read_text()) == payload
+
+
+# --------------------------------------------------------------------- #
+# The --outcomes ledger
+# --------------------------------------------------------------------- #
+
+def test_sweep_outcomes_ledger_on_success(tmp_path):
+    out = tmp_path / "out.json"
+    outcomes = tmp_path / "outcomes.json"
+    run_cli("sweep", "--workloads", "ligra.bfs,spec06.stencil",
+            "--accesses", "700", "--output", str(out),
+            "--outcomes", str(outcomes))
+    doc = json.loads(outcomes.read_text())
+    assert doc["jobs"] == 2 and doc["ok"] == 2 and doc["failed"] == 0
+    assert all(o["status"] == "ok" and o["attempts"] == 1
+               for o in doc["outcomes"])
+    assert json.loads(out.read_text())["jobs"] == 2
+
+
+def test_sweep_outcomes_ledger_written_even_on_failure(tmp_path):
+    """`--outcomes FILE` lands on disk when the sweep exits 3.
+
+    Under the default --on-error raise the sweep output is aborted, but
+    the outcome ledger is most useful exactly then — it names the jobs
+    that exhausted their budget — so it must be written before the
+    error propagates.
+    """
+    from repro.runner import FaultPlan, FaultSpec, SimJob
+    from repro.runner.faults import FAULTS_ENV
+    from repro.sim.config import SystemConfig
+
+    # Reconstruct the job the ad-hoc matrix will build for ligra.bfs so
+    # the fault plan can target it by content key.
+    doomed = SimJob(config=SystemConfig.baseline("pythia"),
+                    workload="ligra.bfs", num_accesses=700)
+    plan = FaultPlan(faults={doomed.key(): FaultSpec(kind="raise")})
+
+    out = tmp_path / "out.json"
+    outcomes = tmp_path / "outcomes.json"
+    proc = run_cli("sweep", "--workloads", "ligra.bfs,spec06.stencil",
+                   "--accesses", "700", "--output", str(out),
+                   "--outcomes", str(outcomes),
+                   extra_env={FAULTS_ENV: plan.to_json()},
+                   expect_rc=3)
+    assert not out.exists()          # the sweep output was aborted ...
+    doc = json.loads(outcomes.read_text())  # ... the ledger was not
+    assert doc["jobs"] == 2 and doc["failed"] == 1 and doc["ok"] == 1
+    failed = [o for o in doc["outcomes"] if o["status"] == "failed"]
+    assert len(failed) == 1 and "FaultError" in failed[0]["error"]
+    assert b"1 failed" in proc.stderr
 
 
 def test_sweep_spec_rejects_matrix_flags(tmp_path):

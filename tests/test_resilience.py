@@ -44,6 +44,8 @@ from repro.runner.faults import FAULTS_ENV, active_plan, apply_faults
 from repro.runner.status import SweepReport
 from repro.sim.config import SystemConfig
 
+from _timeouts import scaled
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -208,15 +210,18 @@ def test_hang_is_cut_by_the_attempt_timeout():
     jobs = _jobs(2)
     plan = FaultPlan(faults={jobs[0].key(): FaultSpec(kind="hang",
                                                       hang_s=30.0)})
+    attempt_budget = scaled(0.5)
     runner = JobRunner(backend=SerialBackend(),
-                       retry_policy=RetryPolicy(max_attempts=1, timeout=0.5),
+                       retry_policy=RetryPolicy(max_attempts=1,
+                                                timeout=attempt_budget),
                        on_error="skip")
     started = time.monotonic()
     with plan.activated():
         results, report = runner.run_report(jobs)
-    assert time.monotonic() - started < 15.0  # never slept the full hang
+    # Never slept the full hang (bound scales with the attempt budget).
+    assert time.monotonic() - started < scaled(15.0)
     assert report.outcomes[0].status == "timeout"
-    assert "0.5" in report.outcomes[0].error
+    assert f"{attempt_budget:g}" in report.outcomes[0].error
     assert report.outcomes[1].ok and results[1] is not None
 
 
@@ -225,10 +230,10 @@ def test_run_job_attempt_timeout_raises_inside_the_worker():
     plan = FaultPlan(faults={job.key(): FaultSpec(kind="hang", hang_s=30.0)})
     with plan.activated():
         with pytest.raises(JobTimeoutError):
-            run_job_attempt(job, attempt=1, timeout=0.2)
+            run_job_attempt(job, attempt=1, timeout=scaled(0.2))
     # The deadline must be disarmed afterwards: a fault-free attempt
     # under a generous timeout completes normally.
-    result = run_job_attempt(job, attempt=2, timeout=60.0)
+    result = run_job_attempt(job, attempt=2, timeout=scaled(60.0))
     assert result.workload == "ligra.pagerank"
 
 
@@ -342,7 +347,7 @@ def test_cache_concurrent_put_of_same_key_is_safe(tmp_path):
     for proc in workers:
         proc.start()
     for proc in workers:
-        proc.join(timeout=60)
+        proc.join(timeout=scaled(60.0))
         assert proc.exitcode == 0
     cache = ResultCache(tmp_path)
     assert cache.get(job) == result      # whole, checksum-valid entry
@@ -425,7 +430,7 @@ def test_cli_sweep_survives_sigkill_and_resumes_byte_identical(tmp_path):
     base_out = tmp_path / "base.json"
     subprocess.run(_sweep_cmd(spec_path, tmp_path / "cache-base", base_out),
                    check=True, env=_cli_env(), capture_output=True,
-                   timeout=300)
+                   timeout=scaled(300.0))
 
     # Faulted run: the LAST job hangs forever, so the first two
     # checkpoint and the process is then kill -9'd mid-sweep.
@@ -437,7 +442,7 @@ def test_cli_sweep_survives_sigkill_and_resumes_byte_identical(tmp_path):
         env=_cli_env(**{FAULTS_ENV: plan.to_json()}),
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
     try:
-        deadline = time.monotonic() + 240
+        deadline = time.monotonic() + scaled(240.0)
         while time.monotonic() < deadline:
             if len(list(crash_cache.glob("*.pkl"))) >= 2:
                 break
@@ -448,7 +453,7 @@ def test_cli_sweep_survives_sigkill_and_resumes_byte_identical(tmp_path):
             pytest.fail("first two jobs never checkpointed")
     finally:
         proc.send_signal(signal.SIGKILL)
-        proc.wait(timeout=60)
+        proc.wait(timeout=scaled(60.0))
     assert not (tmp_path / "crash.json").exists()  # died before output
 
     # Fault-free --resume against the survivor cache: reuses the two
@@ -457,7 +462,8 @@ def test_cli_sweep_survives_sigkill_and_resumes_byte_identical(tmp_path):
     resume_out = tmp_path / "resume.json"
     completed = subprocess.run(
         _sweep_cmd(spec_path, crash_cache, resume_out, "--resume"),
-        check=True, env=_cli_env(), capture_output=True, timeout=300)
+        check=True, env=_cli_env(), capture_output=True,
+        timeout=scaled(300.0))
     assert b"resume: 2 of 3 job(s) already checkpointed" in completed.stderr
     assert resume_out.read_bytes() == base_out.read_bytes()
 
@@ -472,7 +478,7 @@ def test_cli_sweep_reports_failures_with_exit_code_3(tmp_path):
         _sweep_cmd(spec_path, tmp_path / "cache", tmp_path / "out.json",
                    "--outcomes", str(outcomes_path)),
         env=_cli_env(**{FAULTS_ENV: plan.to_json()}),
-        capture_output=True, timeout=300)
+        capture_output=True, timeout=scaled(300.0))
     assert completed.returncode == 3
     assert b"checkpointed" in completed.stderr
     # The outcome ledger accounts for every job despite the failure.
