@@ -522,6 +522,16 @@ def cmd_bench(forwarded: Sequence[str]) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# repro lint
+# ---------------------------------------------------------------------- #
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis gate (``python -m repro.lint``)."""
+    from repro.lint.cli import run_lint
+    return run_lint(args)
+
+
+# ---------------------------------------------------------------------- #
 # repro serve / repro submit
 # ---------------------------------------------------------------------- #
 
@@ -895,6 +905,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--output", default="-",
                         help="JSON destination (default: stdout)")
     submit.set_defaults(func=cmd_submit)
+
+    # ---- lint --------------------------------------------------------- #
+    from repro.lint.cli import add_lint_arguments
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis for repo invariants (rules RL001-RL007; "
+             "exit 0 clean, 1 findings)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     # ---- bench -------------------------------------------------------- #
     # Registered for the top-level help listing only; `main` intercepts

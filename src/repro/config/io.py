@@ -27,13 +27,18 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Type, TypeVar, Union, cast
 
-from repro.config.schema import CONFIG_SCHEMA_VERSION, ConfigError
+from repro.config.schema import CONFIG_SCHEMA_VERSION, ConfigError, SerializableConfig
 from repro.config.toml_compat import TOMLError, dumps_toml, loads_toml
+
+if TYPE_CHECKING:  # import cycle: sim.config itself imports repro.config
+    from repro.sim.config import SystemConfig
 
 #: Formats accepted by the document reader/writer.
 FORMATS = ("toml", "json")
+
+C = TypeVar("C", bound=SerializableConfig)
 
 
 def resolve_format(path: Union[str, Path], fmt: Optional[str] = None) -> str:
@@ -65,7 +70,7 @@ def load_document(path: Union[str, Path],
     try:
         if fmt == "toml":
             return loads_toml(text)
-        return json.loads(text)
+        return cast(Dict[str, Any], json.loads(text))
     except (TOMLError, json.JSONDecodeError) as exc:
         raise ConfigError(f"{path}: not valid {fmt}: {exc}") from None
 
@@ -90,7 +95,7 @@ def _strip_none(value: Any) -> Any:
 # SystemConfig files
 # --------------------------------------------------------------------- #
 
-def save_config(config, path: Union[str, Path],
+def save_config(config: SerializableConfig, path: Union[str, Path],
                 fmt: Optional[str] = None) -> None:
     """Write ``config`` as a schema-stamped TOML/JSON config file."""
     text = config_to_text(config, resolve_format(path, fmt))
@@ -100,14 +105,15 @@ def save_config(config, path: Union[str, Path],
         Path(path).write_text(text, encoding="utf-8")
 
 
-def config_to_text(config, fmt: str) -> str:
+def config_to_text(config: SerializableConfig, fmt: str) -> str:
     """The schema-stamped document text for ``config``."""
     return dump_document(
         {"schema_version": CONFIG_SCHEMA_VERSION, "system": config.to_dict()},
         fmt)
 
 
-def load_config(path: Union[str, Path], fmt: Optional[str] = None):
+def load_config(path: Union[str, Path],
+                fmt: Optional[str] = None) -> "SystemConfig":
     """Read a config file back into a :class:`SystemConfig`.
 
     The inverse of :func:`save_config`: checks the schema version, then
@@ -120,7 +126,8 @@ def load_config(path: Union[str, Path], fmt: Optional[str] = None):
                                 cls=SystemConfig)
 
 
-def config_from_document(document: Dict[str, Any], where: str, cls):
+def config_from_document(document: Dict[str, Any], where: str,
+                         cls: Type[C]) -> C:
     """Validate the document envelope and parse its ``system`` table."""
     if not isinstance(document, dict):
         raise ConfigError(f"{where}: config document must be a table/object")

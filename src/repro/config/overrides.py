@@ -14,7 +14,7 @@ a sweep axis fails before any simulation runs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Mapping, Tuple, get_type_hints
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, get_type_hints
 
 from repro.config.schema import (
     ConfigError,
@@ -70,7 +70,8 @@ def apply_overrides(config: SerializableConfig,
 def _apply_tree(config: SerializableConfig, tree: Mapping[str, Any],
                 prefix: str) -> Any:
     hints = get_type_hints(type(config))
-    fields = {f.name for f in dataclasses.fields(config)}
+    fields = {f.name
+              for f in dataclasses.fields(config)}  # type: ignore[arg-type]
     changes: Dict[str, Any] = {}
     for name, value in tree.items():
         dotted = f"{prefix}{name}"
@@ -99,7 +100,7 @@ def _apply_tree(config: SerializableConfig, tree: Mapping[str, Any],
                 changes[name] = coerce_value(value, annotation, dotted)
             except ConfigError as exc:
                 raise ConfigError(f"override {exc}") from None
-    return dataclasses.replace(config, **changes)
+    return dataclasses.replace(config, **changes)  # type: ignore[type-var]
 
 
 def parse_override(token: str) -> Tuple[str, Any]:
@@ -147,7 +148,7 @@ def parse_override_value(raw: str) -> Any:
     return raw
 
 
-def parse_override_tokens(tokens) -> Dict[str, Any]:
+def parse_override_tokens(tokens: Optional[Iterable[str]]) -> Dict[str, Any]:
     """Fold repeated ``--set`` tokens into one override mapping (last wins)."""
     overrides: Dict[str, Any] = {}
     for token in tokens or ():

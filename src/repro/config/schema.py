@@ -48,7 +48,7 @@ class SerializableConfig:
         exactly — the property the job cache key relies on.
         """
         out: Dict[str, Any] = {}
-        for field in dataclasses.fields(self):
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
             out[field.name] = _value_to_primitive(getattr(self, field.name))
         return out
 
@@ -66,7 +66,8 @@ class SerializableConfig:
             raise ConfigError(
                 f"{where}: expected a table/object, got {type(data).__name__}")
         hints = get_type_hints(cls)
-        fields = {f.name: f for f in dataclasses.fields(cls)}
+        fields = {f.name: f
+                  for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
         unknown = sorted(set(data) - set(fields))
         if unknown:
             raise ConfigError(
@@ -84,7 +85,7 @@ class SerializableConfig:
         return cls(**kwargs)
 
 
-def _has_default(field: dataclasses.Field) -> bool:
+def _has_default(field: "dataclasses.Field[Any]") -> bool:
     return (field.default is not dataclasses.MISSING
             or field.default_factory is not dataclasses.MISSING)
 
@@ -175,7 +176,7 @@ def config_field_paths(cls: Type[SerializableConfig],
     """
     hints = get_type_hints(cls)
     paths: List[Tuple[str, Any]] = []
-    for field in dataclasses.fields(cls):
+    for field in dataclasses.fields(cls):  # type: ignore[arg-type]
         annotation = hints[field.name]
         dotted = f"{prefix}{field.name}"
         nested = _nested_config_type(annotation)

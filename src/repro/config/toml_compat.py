@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Tuple
 try:  # Python 3.11+
     import tomllib as _tomllib
 except ImportError:  # pragma: no cover - exercised on older interpreters
-    _tomllib = None
+    _tomllib = None  # type: ignore[assignment]
 
 
 class TOMLError(ValueError):

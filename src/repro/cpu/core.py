@@ -154,6 +154,7 @@ class OutOfOrderCore:
         self.run_span(accesses, 0, total)
         return self.finalize()
 
+    # repro: hot
     def run_span(self, accesses, start: int, stop: int) -> None:
         """Execute ``accesses[start:stop]`` with the hot loop fully inlined.
 

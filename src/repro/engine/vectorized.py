@@ -288,6 +288,7 @@ class VectorizedEngine(Engine):
     # The fused loop
     # ------------------------------------------------------------------ #
 
+    # repro: hot
     def _fused_span(self, cols: _Columns, start: int, stop: int,
                     popet_arrays) -> None:
         """Execute one span with core + Hermes + POPET + L1/L2 inlined.
@@ -739,26 +740,26 @@ class VectorizedEngine(Engine):
                                 cur = llc_mshr_get(block)
                                 if cur is None or completion < cur:
                                     llc_mshr[block] = completion
-                                    heappush(llc._mshr_heap,
-                                             (completion, block))
+                                    heappush(llc._mshr_heap,  # L2-miss rare path
+                                             (completion, block))  # repro-lint: disable=RL001
                                 if len(llc_mshr) > llc_prune_limit:
                                     llc_prune(completion)
                                 elif len(llc._mshr_heap) > 2 * (
                                         llc_prune_limit + len(llc_mshr)):
-                                    heap = [(r, b)
+                                    heap = [(r, b)  # repro-lint: disable=RL001
                                             for b, r in llc_mshr.items()]
                                     heapify(heap)
                                     llc._mshr_heap = heap
                                 cur = l1_mshr_get(block)
                                 if cur is None or completion < cur:
                                     l1_mshr[block] = completion
-                                    heappush(l1._mshr_heap,
-                                             (completion, block))
+                                    heappush(l1._mshr_heap,  # L2-miss rare path
+                                             (completion, block))  # repro-lint: disable=RL001
                                 if len(l1_mshr) > l1_prune_limit:
                                     l1_prune(completion)
                                 elif len(l1._mshr_heap) > 2 * (
                                         l1_prune_limit + len(l1_mshr)):
-                                    heap = [(r, b)
+                                    heap = [(r, b)  # repro-lint: disable=RL001
                                             for b, r in l1_mshr.items()]
                                     heapify(heap)
                                     l1._mshr_heap = heap

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — run the static-analysis gate directly."""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

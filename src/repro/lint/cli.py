@@ -1,0 +1,95 @@
+"""Command-line front end shared by ``repro lint`` and ``python -m repro.lint``.
+
+Exit-code contract (what CI gates on):
+
+* ``0`` — clean tree (or ``--update-fingerprints`` / ``--list-rules``),
+* ``1`` — findings were reported,
+* ``2`` — usage error (unknown rule id, unreadable path), matching the
+  ``repro`` CLI's convention for configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.base import all_rule_ids, rule_registry
+from repro.lint.engine import LintEngine
+from repro.registry import UnknownComponentError
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    """The argument parser (exposed so ``repro lint`` can reuse it)."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Static analysis for repo invariants (rules RL001-RL00x).")
+    add_lint_arguments(parser)
+    return parser
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options onto ``parser`` (shared with the CLI)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: <root>/src)")
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: auto-detected from the package)")
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="diagnostics format (default: text)")
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    parser.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="regenerate tools/schema_fingerprints.json (RL002 baseline)")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            rule = rule_registry.create(rule_id)
+            print(f"{rule_id}  {rule.title}")
+        return 0
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        engine = LintEngine(
+            root=args.root,
+            rules=rules,
+            paths=args.paths or None)
+        if args.update_fingerprints:
+            path = engine.update_fingerprints()
+            print(f"fingerprints written: {path}")
+            return 0
+        report = engine.run()
+    except UnknownComponentError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    rendered = report.render_json() if args.output_format == "json" \
+        else report.render_text() + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        if report.diagnostics:
+            print(f"repro lint: {len(report.diagnostics)} finding(s) "
+                  f"written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    parser = build_parser(prog="python -m repro.lint")
+    return run_lint(parser.parse_args(argv))

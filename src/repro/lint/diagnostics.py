@@ -1,0 +1,117 @@
+"""Diagnostic records and report rendering for ``repro lint``.
+
+A :class:`Diagnostic` is one finding: a rule id, a repo-relative file
+path, a 1-based line number and a human-readable message.  Findings are
+aggregated into a :class:`LintReport`, which renders either as
+``file:line: RLxxx: message`` text (the format editors and CI logs
+understand) or as a versioned JSON payload (``LINT_SCHEMA_VERSION``)
+that round-trips through :func:`payload_to_diagnostics` so other tools
+can consume lint results without scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: Version stamp of the JSON diagnostics payload emitted by
+#: ``repro lint --format json``.  Bump when the payload shape changes.
+LINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a file and line."""
+
+    rule: str      #: rule id, e.g. ``"RL001"``
+    path: str      #: repo-root-relative POSIX path
+    line: int      #: 1-based line number the finding anchors to
+    message: str   #: human-readable explanation
+
+    def render(self) -> str:
+        """The canonical one-line text form: ``path:line: rule: message``."""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready mapping of this finding."""
+        return {"rule": self.rule, "path": self.path,
+                "line": self.line, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        """Rebuild a finding from :meth:`to_dict` output (strict)."""
+        extra = set(data) - {"rule", "path", "line", "message"}
+        if extra:
+            raise ValueError(
+                f"unknown diagnostic field(s): {', '.join(sorted(extra))}")
+        return cls(rule=str(data["rule"]), path=str(data["path"]),
+                   line=int(data["line"]), message=str(data["message"]))
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: findings plus run metadata."""
+
+    diagnostics: List[Diagnostic]  #: findings, sorted by (path, line, rule)
+    files_checked: int             #: number of files scanned
+    rules: List[str]               #: rule ids that ran, sorted
+
+    @property
+    def exit_code(self) -> int:
+        """The CI-gateable exit status: 0 clean, 1 findings."""
+        return 1 if self.diagnostics else 0
+
+    def counts(self) -> Dict[str, int]:
+        """Finding count per rule id (rules with zero findings omitted)."""
+        table: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            table[diag.rule] = table.get(diag.rule, 0) + 1
+        return dict(sorted(table.items()))
+
+    def render_text(self) -> str:
+        """The human-readable report (one line per finding + a summary)."""
+        lines = [diag.render() for diag in self.diagnostics]
+        if self.diagnostics:
+            lines.append("")
+            lines.append(f"{len(self.diagnostics)} finding(s) in "
+                         f"{self.files_checked} file(s) "
+                         f"[{', '.join(f'{r}: {n}' for r, n in self.counts().items())}]")
+        else:
+            lines.append(f"repro lint: clean "
+                         f"({self.files_checked} file(s), "
+                         f"rules {', '.join(self.rules)})")
+        return "\n".join(lines)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The versioned JSON payload for ``--format json``."""
+        return {
+            "lint_schema_version": LINT_SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self) -> str:
+        """:meth:`to_payload` serialized deterministically."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+
+def payload_to_diagnostics(payload: Mapping[str, Any]) -> List[Diagnostic]:
+    """Parse the diagnostics out of a ``--format json`` payload.
+
+    Rejects payloads from a different ``lint_schema_version`` so
+    consumers fail loudly instead of misreading a reshaped report.
+    """
+    version = payload.get("lint_schema_version")
+    if version != LINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint payload version {version!r} "
+            f"(this reader expects {LINT_SCHEMA_VERSION})")
+    return [Diagnostic.from_dict(entry) for entry in payload["diagnostics"]]
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Stable report order: by path, then line, then rule id."""
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.rule, d.message))

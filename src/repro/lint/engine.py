@@ -1,0 +1,162 @@
+"""The lint engine: file collection, rule dispatch and suppression.
+
+:class:`LintEngine` walks the tree once, parses every Python file (and
+the TOML spec documents RL003 resolves), runs the selected rules, then
+filters findings through the ``# repro-lint: disable=`` suppression
+comments before sorting them into a :class:`~repro.lint.diagnostics.LintReport`.
+Rules therefore stay pure: they emit every finding they see and never
+reason about suppression or ordering.
+
+The engine is fully parameterized over its root and scan paths so the
+test suite can point it at fixture trees; the defaults target the
+repository this module ships in (``src/`` for Python, ``examples/specs``
+and ``tests`` for TOML documents, ``tools/schema_fingerprints.json``
+for the RL002 baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import repro.lint.rules  # noqa: F401  (rule registration side effects)
+from repro.lint.base import (
+    LintRule,
+    Project,
+    SourceFile,
+    all_rule_ids,
+    make_rules,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport, sort_diagnostics
+from repro.lint.rules.schema_versions import (
+    collect_fingerprints,
+    strip_internal,
+)
+
+PathLike = Union[str, Path]
+
+
+def default_root() -> Path:
+    """The repository root this installed package belongs to."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _iter_files(paths: Iterable[Path], suffix: str) -> List[Path]:
+    found: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == suffix:
+                found.append(path)
+        elif path.is_dir():
+            found.extend(p for p in path.rglob(f"*{suffix}")
+                         if "__pycache__" not in p.parts)
+    return sorted(set(found))
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class LintEngine:
+    """One configured lint run over a tree."""
+
+    def __init__(self, root: Optional[PathLike] = None, *,
+                 rules: Optional[Sequence[str]] = None,
+                 paths: Optional[Sequence[PathLike]] = None,
+                 spec_paths: Optional[Sequence[PathLike]] = None,
+                 fingerprints_path: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_root()
+        self.rule_ids = [r.upper() for r in rules] if rules is not None \
+            else all_rule_ids()
+        self.paths = [Path(p) for p in paths] if paths is not None \
+            else [self.root / "src"]
+        self.spec_paths = [Path(p) for p in spec_paths] \
+            if spec_paths is not None \
+            else [self.root / "examples" / "specs", self.root / "tests"]
+        self.fingerprints_path = Path(fingerprints_path) \
+            if fingerprints_path is not None \
+            else self.root / "tools" / "schema_fingerprints.json"
+
+    # ----------------------------------------------------------------- #
+    # Collection
+    # ----------------------------------------------------------------- #
+
+    def _collect(self) -> Tuple[Project, List[Diagnostic]]:
+        """Parse everything in scope; broken files become diagnostics.
+
+        A file that fails to parse is reported under the pseudo-rule
+        ``PARSE`` and excluded from the project — one broken file must
+        not hide every other finding.
+        """
+        files: List[SourceFile] = []
+        errors: List[Diagnostic] = []
+        for path in _iter_files(self.paths, ".py"):
+            rel = _relative(path, self.root)
+            try:
+                files.append(SourceFile(path, rel,
+                                        path.read_text(encoding="utf-8")))
+            except SyntaxError as exc:
+                errors.append(Diagnostic(
+                    rule="PARSE", path=rel, line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}"))
+            except (OSError, ValueError) as exc:
+                errors.append(Diagnostic(
+                    rule="PARSE", path=rel, line=1,
+                    message=f"file unreadable: {exc}"))
+        specs: List[SourceFile] = []
+        for path in _iter_files(self.spec_paths, ".toml"):
+            try:
+                specs.append(SourceFile(path, _relative(path, self.root),
+                                        path.read_text(encoding="utf-8")))
+            except (OSError, ValueError):
+                continue  # unreadable spec: the config loader's problem
+        project = Project(self.root, files, specs, self.fingerprints_path)
+        return project, errors
+
+    def project(self) -> Project:
+        """The parsed :class:`Project` (parse errors dropped silently)."""
+        project, _ = self._collect()
+        return project
+
+    # ----------------------------------------------------------------- #
+    # Execution
+    # ----------------------------------------------------------------- #
+
+    def run(self) -> LintReport:
+        """Run the selected rules and return the filtered report."""
+        rule_objs: List[LintRule] = make_rules(self.rule_ids)
+        project, diagnostics = self._collect()
+        for rule in rule_objs:
+            if rule.scope == "file":
+                for src in project.files:
+                    diagnostics.extend(rule.check_file(src))
+            else:
+                diagnostics.extend(rule.check_project(project))
+        file_map = project.file_map()
+        kept = []
+        for diag in diagnostics:
+            src = file_map.get(diag.path)
+            if src is not None and src.suppressed(diag.rule, diag.line):
+                continue
+            kept.append(diag)
+        return LintReport(diagnostics=sort_diagnostics(kept),
+                          files_checked=len(project.files)
+                          + len(project.spec_files),
+                          rules=list(self.rule_ids))
+
+    # ----------------------------------------------------------------- #
+    # Fingerprint maintenance (RL002)
+    # ----------------------------------------------------------------- #
+
+    def update_fingerprints(self) -> Path:
+        """Recompute and write ``tools/schema_fingerprints.json``."""
+        payload = strip_internal(collect_fingerprints(self.project()))
+        self.fingerprints_path.parent.mkdir(parents=True, exist_ok=True)
+        self.fingerprints_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return self.fingerprints_path

@@ -1,0 +1,110 @@
+"""RL006 — cross-engine statistic-counter parity.
+
+The vectorized engine is only legal because it is *bit-identical* to
+the scalar loop — the golden-equivalence suite proves it for the
+statistics that exist today.  The gap: add a new ``stats.foo += 1`` to
+``OutOfOrderCore.run_span`` and forget the matching delta in
+``VectorizedEngine``, and the counter silently reads zero under
+``--engine vectorized`` until a golden fixture is regenerated to
+notice.  This rule closes the gap statically: every stat counter the
+scalar span mutates (an augmented assignment through a ``stats``-like
+receiver in ``run_span``) must appear as an augmented-assignment
+target somewhere in ``engine/vectorized.py`` — the fused loop or its
+span-end delta flush.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.base import LintRule, Project, SourceFile, register_rule
+from repro.lint.diagnostics import Diagnostic
+
+#: Where the scalar span lives / which function carries the counters.
+SCALAR_FILE_SUFFIX = "cpu/core.py"
+SCALAR_SPAN_FUNCTION = "run_span"
+#: Where the vectorized engine must mirror every counter.
+VECTORIZED_FILE_SUFFIX = "engine/vectorized.py"
+
+
+def _is_stats_receiver(node: ast.AST) -> bool:
+    """Whether an attribute write goes through a stats-like receiver.
+
+    Matches ``stats.x``, ``hermes_stats.x`` (span-local aliases) and
+    ``self.stats.x`` / ``self.hermes_stats.x``.
+    """
+    if not isinstance(node, ast.Attribute):
+        return False
+    value = node.value
+    if isinstance(value, ast.Name):
+        name = value.id
+    elif isinstance(value, ast.Attribute) and \
+            isinstance(value.value, ast.Name) and value.value.id == "self":
+        name = value.attr
+    else:
+        return False
+    return name == "stats" or name.endswith("_stats")
+
+
+def _scalar_counters(src: SourceFile) -> List[Tuple[str, str, int]]:
+    """``(receiver, counter, line)`` for every span-mutated stat."""
+    counters: List[Tuple[str, str, int]] = []
+    if src.tree is None:
+        return counters
+    for node in ast.walk(src.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                or node.name != SCALAR_SPAN_FUNCTION:
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AugAssign) \
+                    and _is_stats_receiver(sub.target):
+                target = sub.target
+                assert isinstance(target, ast.Attribute)
+                receiver = target.value
+                name = receiver.id if isinstance(receiver, ast.Name) \
+                    else receiver.attr  # type: ignore[union-attr]
+                counters.append((name, target.attr, sub.lineno))
+    return counters
+
+
+def _mirrored_counters(src: SourceFile) -> Set[str]:
+    """Every attribute the vectorized module updates via ``+=``."""
+    attrs: Set[str] = set()
+    if src.tree is None:
+        return attrs
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Attribute):
+            attrs.add(node.target.attr)
+    return attrs
+
+
+@register_rule
+class CounterParityRule(LintRule):
+    """Scalar-span stat counters need a vectorized-engine mirror."""
+
+    rule_id = "RL006"
+    title = "stat counters must update in both engines"
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        """Diff ``run_span`` counters against the vectorized module."""
+        scalar_files = project.files_matching(SCALAR_FILE_SUFFIX)
+        vector_files = project.files_matching(VECTORIZED_FILE_SUFFIX)
+        if not scalar_files or not vector_files:
+            return  # one side of the parity pair is out of scope
+        mirrored: Set[str] = set()
+        for src in vector_files:
+            mirrored |= _mirrored_counters(src)
+        for src in scalar_files:
+            for receiver, counter, lineno in _scalar_counters(src):
+                if counter in mirrored:
+                    continue
+                yield self.diagnostic(
+                    src.rel, lineno,
+                    f"counter {receiver}.{counter} is mutated in "
+                    f"{SCALAR_SPAN_FUNCTION}() but never updated in "
+                    f"{VECTORIZED_FILE_SUFFIX} — the vectorized engine "
+                    f"would silently report it as zero; add the delta to "
+                    f"its span flush (golden equivalence depends on it)")

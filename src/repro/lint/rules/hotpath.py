@@ -1,0 +1,143 @@
+"""RL001 — the zero-allocation hot-path rule.
+
+PR 2 rewrote the per-access simulation loop around flat arrays, ring
+buffers and reused ``__slots__`` records precisely so the interpreter
+allocates nothing per access.  That property is invisible to tests (it
+only shows up as throughput decay) and trivially easy to regress with
+an innocent-looking comprehension, so this rule enforces it statically:
+inside any loop of a function marked ``# repro: hot``, the following
+constructs are findings —
+
+* comprehensions and generator expressions,
+* non-constant tuple/list literals and dict/set literals,
+* ``lambda``/nested ``def`` (closure construction per iteration),
+* ``try``/``except`` blocks (zero-cost only until they catch; the hot
+  path routes rare cases through flags instead),
+* calls to Capitalized names (record/object construction — hot records
+  are pre-allocated and reused, never built per access).
+
+Constant tuples (``x in (1, 2)``) are exempt: CPython's peephole folds
+them to a single ``LOAD_CONST``.  Deliberate rare-path allocations
+(e.g. MSHR heap rebuilds that run once per drain, not per access) are
+annotated in place with ``# repro-lint: disable=RL001``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.base import (
+    LintRule,
+    SourceFile,
+    iter_hot_functions,
+    register_rule,
+)
+from repro.lint.diagnostics import Diagnostic
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_COMP_LABELS = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+
+def _constant_only(node: ast.AST) -> bool:
+    """Whether a tuple/list literal holds only constants (folded, free)."""
+    return all(isinstance(elt, ast.Constant)
+               for elt in getattr(node, "elts", []))
+
+
+def _classify(node: ast.AST) -> Optional[Tuple[str, bool]]:
+    """(label, descend) if ``node`` allocates per iteration, else None.
+
+    ``descend`` tells the scanner whether to keep walking the node's
+    children for further findings (a flagged comprehension or closure
+    already covers everything it contains).
+    """
+    if isinstance(node, _COMPREHENSIONS):
+        return _COMP_LABELS[type(node)], False
+    if isinstance(node, ast.Dict):
+        return "dict literal", True
+    if isinstance(node, ast.Set):
+        return "set literal", True
+    if isinstance(node, (ast.Tuple, ast.List)):
+        if isinstance(node.ctx, ast.Load) and not _constant_only(node):
+            kind = "tuple" if isinstance(node, ast.Tuple) else "list"
+            return f"{kind} literal", True
+        return None
+    if isinstance(node, ast.Lambda):
+        return "lambda (closure built per iteration)", False
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return f"nested function {node.name!r} (closure built per iteration)", False
+    if isinstance(node, ast.Try):
+        return "try/except block", True
+    if isinstance(node, ast.Call):
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name and name[:1].isupper():
+            return f"construction of {name}(...)", True
+    return None
+
+
+def _outermost_loops(func: ast.AST) -> List[ast.AST]:
+    """Loops in ``func`` not nested inside another loop of ``func``.
+
+    Nested functions are treated as part of the hot function — a
+    closure defined in a hot function runs on the hot path too.  Only
+    the *outermost* loops are returned: scanning their bodies covers
+    every nested loop (including its ``iter``/``test`` expressions,
+    which re-evaluate per outer iteration), while the outermost
+    ``iter`` itself — evaluated once — correctly stays exempt.
+    """
+    loops: List[ast.AST] = []
+
+    def find(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _LOOPS):
+                loops.append(child)
+            else:
+                find(child)
+
+    find(func)
+    return loops
+
+
+@register_rule
+class HotPathAllocationRule(LintRule):
+    """No per-iteration allocation inside ``# repro: hot`` loops."""
+
+    rule_id = "RL001"
+    title = "hot-path loops must not allocate per iteration"
+    scope = "file"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        """Scan every hot-marked function's loop bodies."""
+        for func in iter_hot_functions(src):
+            name = getattr(func, "name", "<function>")
+            for loop in _outermost_loops(func):
+                body = list(loop.body) + list(getattr(loop, "orelse", []))
+                for stmt in body:
+                    yield from self._scan(src, name, stmt)
+
+    def _scan(self, src: SourceFile, func_name: str,
+              node: ast.AST) -> Iterator[Diagnostic]:
+        finding = _classify(node)
+        descend = True
+        if finding is not None:
+            label, descend = finding
+            yield self.diagnostic(
+                src.rel, getattr(node, "lineno", 1),
+                f"{label} in a loop of hot function {func_name!r} "
+                f"(marked '# repro: hot'; hoist it out of the loop or "
+                f"annotate a deliberate rare path with "
+                f"'# repro-lint: disable=RL001')")
+        if descend:
+            for child in ast.iter_child_nodes(node):
+                yield from self._scan(src, func_name, child)

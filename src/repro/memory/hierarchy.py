@@ -177,6 +177,7 @@ class CacheHierarchy:
     # Demand path
     # ------------------------------------------------------------------ #
 
+    # repro: hot
     def load(self, address: int, pc: int, cycle: int,
              hermes_ready: Optional[int] = None) -> LoadOutcome:
         """Perform a demand load, returning its timing and off-chip outcome."""
@@ -289,6 +290,7 @@ class CacheHierarchy:
             stats.total_offchip_onchip_latency += outcome.onchip_latency
         return outcome
 
+    # repro: hot
     def store(self, address: int, pc: int, cycle: int) -> LoadOutcome:
         """Perform a demand store (write-allocate; latency is off the critical path)."""
         self.stats.stores += 1

@@ -134,6 +134,7 @@ class POPET(OffChipPredictor):
     # Prediction (Fig. 8 pipeline: extract -> index -> sum -> threshold)
     # ------------------------------------------------------------------ #
 
+    # repro: hot
     def predict(self, context: LoadContext) -> PredictionRecord:
         """Fully fused predict for the default feature set.
 
@@ -209,6 +210,7 @@ class POPET(OffChipPredictor):
         metadata.first_access = first_access
         return total >= self.config.activation_threshold, metadata
 
+    # repro: hot
     def _compute_fused(self, pc: int, address: int, first: bool,
                        history) -> Tuple[bool, Any]:
         """Hand-inlined feature hashing for the default Table 2 feature set.
@@ -306,6 +308,7 @@ class POPET(OffChipPredictor):
     # Training (Section 6.1.2)
     # ------------------------------------------------------------------ #
 
+    # repro: hot
     def train(self, record: PredictionRecord, went_offchip: bool) -> None:
         """Confusion-matrix accounting (inlined) + the weight update."""
         stats = self.stats
@@ -320,6 +323,7 @@ class POPET(OffChipPredictor):
             stats.true_negatives += 1
         self._train(record, went_offchip)
 
+    # repro: hot
     def _train(self, record: PredictionRecord, went_offchip: bool) -> None:
         metadata: _PredictionMetadata = record.metadata
         total = metadata.perceptron_sum

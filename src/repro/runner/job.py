@@ -43,7 +43,7 @@ class PredictorSpec:
     name: str
     options: Dict[str, Any] = field(default_factory=dict)
 
-    def build(self):
+    def build(self) -> Any:
         from repro.offchip.factory import make_predictor
         return make_predictor(self.name, **dict(self.options))
 

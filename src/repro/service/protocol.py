@@ -111,7 +111,7 @@ def parse_submission(doc: Any) -> Tuple[List[SimJob], str]:
         if not isinstance(raw_jobs, list) or not raw_jobs:
             raise ProtocolError("'jobs' must be a non-empty array of "
                                 "job documents")
-        jobs = []
+        jobs: List[SimJob] = []
         for index, raw in enumerate(raw_jobs):
             try:
                 jobs.append(SimJob.from_dict(raw))

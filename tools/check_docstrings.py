@@ -1,93 +1,38 @@
 #!/usr/bin/env python
-"""Docs lint: every public module, class and function needs a docstring.
+"""Docs lint shim: the policy now lives in ``repro lint`` rule RL007.
 
-A stdlib-only stand-in for pydocstyle (this repo has no third-party
-runtime dependencies): walks ``src/repro`` with ``ast``, and reports
+This script used to carry the docstring checker itself; the logic
+moved into :mod:`repro.lint.rules.docstrings` so ``repro lint`` is the
+single static gate.  The shim keeps the historical entry point and
+exit-code contract working (CI and local habits keep functioning
+mid-migration): it runs just RL007 over ``src/`` and exits with the
+offender count, capped at 125 like before.
 
-* modules without a module docstring,
-* public classes (not ``_``-prefixed) without a class docstring,
-* public module-level functions without a docstring.
-
-Methods are deliberately out of scope for the simulator packages: most
-public methods there implement an interface whose contract is
-documented once on the ABC or in the class docstring
-(``Prefetcher.storage_bits``, ``ReplacementPolicy.victim``,
-``*Stats.as_dict``, ...), and ``help()`` surfaces the class docs next
-to them.  The ``repro.report`` package is held to a stricter standard —
-public *methods* need docstrings too — because its classes
-(``FigureResult``, ``FigureSpec``, the renderers) are the documented
-extension surface the generated docs and third-party figures build on.
-
-Exit status is the number of offenders (0 = clean), so CI can gate on
-it directly: ``python tools/check_docstrings.py``.
+Prefer ``python -m repro.lint`` (all rules) for new workflows.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src" / "repro"
-
-def _function_offenders(node: ast.FunctionDef,
-                        path: Path) -> Iterator[Tuple[Path, int, str]]:
-    name = node.name
-    if name.startswith("_"):
-        return
-    if ast.get_docstring(node) is None:
-        yield path, node.lineno, f"{name}() missing docstring"
-
-
-def check_file(path: Path,
-               require_methods: bool = False) -> List[Tuple[Path, int, str]]:
-    """All docstring offenders in one source file.
-
-    With ``require_methods`` (the ``repro.report`` standard), public
-    methods of public classes are checked as well.
-    """
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    offenders: List[Tuple[Path, int, str]] = []
-    if ast.get_docstring(tree) is None:
-        offenders.append((path, 1, "module missing docstring"))
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            offenders.extend(_function_offenders(node, path))
-        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
-            if ast.get_docstring(node) is None:
-                offenders.append((path, node.lineno,
-                                  f"class {node.name} missing docstring"))
-            if require_methods:
-                for member in node.body:
-                    if not isinstance(member, (ast.FunctionDef,
-                                               ast.AsyncFunctionDef)):
-                        continue
-                    if member.name.startswith("_"):
-                        continue
-                    if ast.get_docstring(member) is None:
-                        offenders.append(
-                            (path, member.lineno,
-                             f"method {node.name}.{member.name}() "
-                             f"missing docstring"))
-    return offenders
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def main() -> int:
-    """Walk src/repro and print one line per offender."""
-    report_pkg = SRC / "report"
-    offenders: List[Tuple[Path, int, str]] = []
-    for path in sorted(SRC.rglob("*.py")):
-        offenders.extend(check_file(
-            path, require_methods=report_pkg in path.parents))
-    for path, line, message in offenders:
-        print(f"{path.relative_to(REPO_ROOT)}:{line}: {message}")
-    if offenders:
-        print(f"\n{len(offenders)} docstring offender(s)", file=sys.stderr)
+    """Run lint rule RL007 and print one line per offender."""
+    from repro.lint.engine import LintEngine
+
+    report = LintEngine(root=REPO_ROOT, rules=["RL007"]).run()
+    for diag in report.diagnostics:
+        print(f"{diag.path}:{diag.line}: {diag.message}")
+    if report.diagnostics:
+        print(f"\n{len(report.diagnostics)} docstring offender(s)",
+              file=sys.stderr)
     else:
         print("docstring check: clean")
-    return min(len(offenders), 125)
+    return min(len(report.diagnostics), 125)
 
 
 if __name__ == "__main__":
