@@ -56,9 +56,18 @@ from repro.runner import (
     RetryPolicy,
     SerialBackend,
     SimJob,
+    SpecDelta,
     SweepError,
     SweepReport,
     SweepSpec,
+    diff_specs,
+    make_backend,
+)
+from repro.runner.distributed import (
+    DistributedBackend,
+    ShardedResultCache,
+    WorkerLoop,
+    open_result_cache,
 )
 from repro.report import (
     REPORT_SCHEMA_VERSION,
@@ -89,6 +98,12 @@ __all__ = [
     # specs and jobs
     "ExperimentSpec", "SimJob", "SweepSpec", "PredictorSpec",
     "JobRunner", "SerialBackend", "ProcessPoolBackend", "ResultCache",
+    "make_backend",
+    # distributed sweeps
+    "DistributedBackend", "ShardedResultCache", "WorkerLoop",
+    "open_result_cache",
+    # delta sweeps
+    "SpecDelta", "diff_specs",
     # resilience
     "RetryPolicy", "JobOutcome", "SweepReport", "SweepError", "FaultPlan",
     "sweep_report",

@@ -152,8 +152,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and args.cache_dir is None:
         raise ValueError("--resume needs --cache-dir: resume re-runs only "
                          "the jobs missing from the checkpoint cache")
+    if args.parallel and args.backend not in (None, "process-pool"):
+        raise ValueError("--parallel is shorthand for --backend "
+                         "process-pool; drop one of the two")
+    if args.backend == "distributed":
+        if args.spec is None:
+            raise ValueError("--backend distributed runs declarative "
+                             "sweeps; give --spec FILE")
+        if args.cache_dir is None:
+            raise ValueError("--backend distributed needs --cache-dir "
+                             "SHARED — the shared directory workers join "
+                             "(see 'repro worker')")
+    if args.since_spec is not None and args.spec is None:
+        raise ValueError("--since-spec diffs two spec matrices; it "
+                         "requires --spec")
     if args.spec is not None:
         return _sweep_spec(args)
+    if args.backend is not None:
+        # Ad-hoc and figure modes predate --backend; map the local
+        # names onto the historical --parallel switch.
+        args.parallel = args.backend == "process-pool"
 
     setup = ExperimentSetup(parallel=args.parallel,
                             max_workers=args.max_workers,
@@ -274,16 +292,28 @@ def _sweep_rows(labels, jobs, results, report) -> List[Dict[str, Any]]:
     return rows
 
 
+def _load_spec(path: str, args: argparse.Namespace):
+    """Load a spec file with the shared --set/--accesses adjustments.
+
+    Both sides of a ``--since-spec`` diff go through this, so the delta
+    reflects differences between the *files*, not between one adjusted
+    and one raw matrix.
+    """
+    from repro.config import apply_overrides, parse_override_tokens
+    from repro.runner import ExperimentSpec
+    spec = ExperimentSpec.from_file(path)
+    overrides = parse_override_tokens(args.set)
+    if overrides:
+        spec.base = apply_overrides(spec.base, overrides)
+    if args.accesses is not None:
+        spec.accesses = args.accesses
+    return spec
+
+
 def _sweep_spec(args: argparse.Namespace) -> int:
     """Run a declarative spec file (``repro sweep --spec path.toml``)."""
-    from repro.config import apply_overrides, parse_override_tokens
-    from repro.runner import (
-        ExperimentSpec,
-        JobRunner,
-        ResultCache,
-        RetryPolicy,
-    )
-    from repro.runner.backends import ProcessPoolBackend, SerialBackend
+    from repro.runner import JobRunner, RetryPolicy
+    from repro.runner.backends import make_backend
 
     ignored = [flag for flag, value in [
         ("--workloads", args.workloads),
@@ -300,19 +330,33 @@ def _sweep_spec(args: argparse.Namespace) -> int:
             f"file declares its own matrix (use --set for base-config "
             f"overrides and --accesses for sizing)")
 
-    spec = ExperimentSpec.from_file(args.spec)
-    overrides = parse_override_tokens(args.set)
-    if overrides:
-        spec.base = apply_overrides(spec.base, overrides)
-    if args.accesses is not None:
-        spec.accesses = args.accesses
+    spec = _load_spec(args.spec, args)
+    backend_name = (args.backend if args.backend is not None
+                    else ("process-pool" if args.parallel else "serial"))
+    backend = make_backend(backend_name, max_workers=args.max_workers,
+                           shared_dir=args.cache_dir,
+                           lease_ttl=args.lease_ttl)
+    cache = None
+    if args.cache_dir is not None:
+        if backend_name == "distributed":
+            # The distributed path *upgrades* the directory to the
+            # sharded layout (migrating a flat legacy cache in place).
+            from repro.runner.distributed import ShardedResultCache
+            cache = ShardedResultCache(args.cache_dir)
+        else:
+            # Local backends defer to whatever layout the directory
+            # already speaks.
+            from repro.runner.distributed import open_result_cache
+            cache = open_result_cache(args.cache_dir)
 
-    backend = (ProcessPoolBackend(max_workers=args.max_workers)
-               if args.parallel else SerialBackend())
-    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
     jobs = spec.jobs()
+    delta = None
+    if args.since_spec is not None:
+        delta = spec.delta(_load_spec(args.since_spec, args))
+        jobs = delta.changed
+        print(delta.summary(), file=sys.stderr)
     if args.resume:
-        missing = spec.missing_jobs(cache)
+        missing = [job for job in jobs if not cache.has(job)]
         print(f"resume: {len(jobs) - len(missing)} of {len(jobs)} job(s) "
               f"already checkpointed; executing {len(missing)}",
               file=sys.stderr)
@@ -327,8 +371,45 @@ def _sweep_spec(args: argparse.Namespace) -> int:
     print(report.summary(), file=sys.stderr)
     if args.outcomes is not None:
         _emit_json(report.to_dict(), args.outcomes)
-    _emit_json({"spec": spec.name, "jobs": len(rows), "rows": rows},
-               args.output)
+    doc: Dict[str, Any] = {"spec": spec.name, "jobs": len(rows),
+                           "rows": rows}
+    if delta is not None:
+        doc["delta"] = delta.to_dict()
+    _emit_json(doc, args.output)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro worker
+# ---------------------------------------------------------------------- #
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Join a distributed sweep as one standalone worker process.
+
+    Points at the same shared directory as ``repro sweep --backend
+    distributed --cache-dir SHARED``; may be started before, during or
+    after the coordinator (``--wait-for-queue`` covers the before
+    case).  Exits 0 when the queue closes and drains, when the idle
+    budget runs out, or when the queue never appears — a worker leaving
+    early is always safe, its unfinished lease ages out and is stolen.
+    """
+    from repro.runner import RetryPolicy
+    from repro.runner.distributed import WorkerLoop
+    policy = RetryPolicy(max_attempts=args.retries + 1,
+                         base_delay=args.retry_delay,
+                         timeout=args.timeout)
+    loop = WorkerLoop(args.shared_dir,
+                      owner=args.owner,
+                      policy=policy,
+                      lease_ttl=args.lease_ttl,
+                      poll_interval_s=args.poll_interval,
+                      max_idle_s=args.max_idle,
+                      wait_for_queue_s=args.wait_for_queue)
+    summary = loop.run()
+    print(f"worker {summary.owner}: {summary.executed} executed, "
+          f"{summary.cached} cached, {summary.failed} failed, "
+          f"{summary.steals} steal(s)", file=sys.stderr)
+    _emit_json(summary.to_dict(), args.output)
     return 0
 
 
@@ -712,6 +793,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workloads taken per category (default: 2)")
     sweep.add_argument("--parallel", action="store_true",
                        help="fan jobs out over a process pool")
+    sweep.add_argument("--backend",
+                       choices=["serial", "process-pool", "distributed"],
+                       default=None,
+                       help="execution backend (default: serial, or "
+                            "process-pool with --parallel); 'distributed' "
+                            "coordinates through --cache-dir SHARED, which "
+                            "any number of 'repro worker SHARED' processes "
+                            "may join or leave mid-sweep (--spec mode only)")
+    sweep.add_argument("--since-spec", default=None, metavar="FILE",
+                       help="delta sweep: diff the --spec matrix against "
+                            "this older spec file by job content hash and "
+                            "execute only the changed/missing jobs "
+                            "(--set/--accesses apply to both sides)")
+    sweep.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="distributed only: heartbeats older than this "
+                            "mark a worker dead and its job reclaimable "
+                            "(fixed at queue creation; default: 30)")
     sweep.add_argument("--max-workers", type=int, default=None,
                        help="process-pool size (default: cpu count)")
     sweep.add_argument("--cache-dir", default=None,
@@ -735,6 +834,49 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output", default="-",
                        help="JSON destination (default: stdout)")
     sweep.set_defaults(func=cmd_sweep)
+
+    # ---- worker ------------------------------------------------------- #
+    worker = subparsers.add_parser(
+        "worker", help="join a distributed sweep: claim, execute and "
+                       "checkpoint jobs from a shared directory until the "
+                       "sweep closes")
+    worker.add_argument("shared_dir",
+                        help="the sweep's shared directory (the "
+                             "coordinator's --cache-dir)")
+    worker.add_argument("--owner", default=None, metavar="ID",
+                        help="lease owner id (default: generated "
+                             "pid+random id — unique per process)")
+    worker.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="lease TTL if this worker creates the queue; "
+                             "an existing queue's on-disk TTL always wins "
+                             "(default: 30)")
+    worker.add_argument("--poll-interval", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="idle scan interval (default: 0.05)")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long with nothing claimable "
+                             "on an open queue (default: wait for close)")
+    worker.add_argument("--wait-for-queue", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="how long to wait for the coordinator to "
+                             "create the queue (default: 30)")
+    worker.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts per failed/timed-out job "
+                             "(default: 0)")
+    worker.add_argument("--retry-delay", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="backoff before retry n: delay * 2^(n-1) "
+                             "seconds (default: 0)")
+    worker.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock budget "
+                             "(default: unbounded)")
+    worker.add_argument("--output", default="-",
+                        help="worker summary JSON destination "
+                             "(default: stdout)")
+    worker.set_defaults(func=cmd_worker)
 
     # ---- report ------------------------------------------------------- #
     report = subparsers.add_parser(

@@ -19,16 +19,25 @@ lists executed through pluggable backends with two cache layers:
 * :class:`~repro.runner.spec.ExperimentSpec` — sweeps declared as
   TOML/JSON documents (base config + override axes + workloads),
   expanded into the same job matrices.
+* :mod:`repro.runner.distributed` — multi-process cooperative sweeps
+  over a shared directory (sharded cache + file-based work queue);
+  resolved lazily through :func:`~repro.runner.backends.make_backend`
+  so local runs never import it.
+* :mod:`repro.runner.delta` — spec-matrix diffs by content hash, the
+  ``repro sweep --since-spec`` incremental-execution machinery.
 
-See DESIGN.md (section 3) for the architecture discussion.
+See DESIGN.md (sections 3 and 15) for the architecture discussion.
 """
 
 from repro.runner.backends import (
+    BACKEND_NAMES,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    make_backend,
 )
 from repro.runner.cache import ResultCache
+from repro.runner.delta import SpecDelta, diff_job_matrices, diff_specs
 from repro.runner.execute import execute_job, run_job_attempt
 from repro.runner.faults import FaultError, FaultPlan, FaultSpec
 from repro.runner.job import (
@@ -60,10 +69,15 @@ __all__ = [
     "jobs_for_suite",
     "execute_job",
     "run_job_attempt",
+    "BACKEND_NAMES",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "make_backend",
     "ResultCache",
+    "SpecDelta",
+    "diff_specs",
+    "diff_job_matrices",
     "JobRunner",
     "JobOutcome",
     "JobTimeoutError",

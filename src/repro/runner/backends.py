@@ -49,6 +49,33 @@ from repro.runner.status import (
 #: outcome (in completion order, not job order) — the checkpoint hook.
 CompletionFn = Callable[[SimJob, JobOutcome], None]
 
+#: Every backend name ``make_backend`` resolves (the CLI choices list).
+BACKEND_NAMES = ("serial", "process-pool", "distributed")
+
+
+def make_backend(name: str, *, max_workers: Optional[int] = None,
+                 shared_dir: Optional[str] = None,
+                 lease_ttl: Optional[float] = None) -> "ExecutionBackend":
+    """Resolve a backend by CLI name.
+
+    ``max_workers`` applies to ``process-pool``; ``shared_dir`` (the
+    shared cache directory) and ``lease_ttl`` to ``distributed``.  The
+    distributed import stays lazy so ``--help`` and the local backends
+    never pay for it.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process-pool":
+        return ProcessPoolBackend(max_workers=max_workers)
+    if name == "distributed":
+        if shared_dir is None:
+            raise ValueError("the distributed backend needs a shared cache "
+                             "directory (--cache-dir SHARED)")
+        from repro.runner.distributed import DistributedBackend
+        return DistributedBackend(shared_dir, lease_ttl=lease_ttl)
+    raise ValueError(f"unknown backend {name!r}; "
+                     f"expected one of {BACKEND_NAMES}")
+
 
 class ExecutionBackend(ABC):
     """Maps jobs to per-job outcomes (or, legacy, to a result list)."""

@@ -46,6 +46,32 @@ _DIGEST_BYTES = 32  # sha256
 STALE_TMP_SECONDS = 3600.0
 
 
+def write_entry(path: Path, payload: bytes) -> None:
+    """Atomically publish one checksummed entry at ``path``.
+
+    The multi-writer primitive shared by the flat and sharded layouts:
+    the ``MAGIC + sha256 + payload`` blob is staged in a ``mkstemp``
+    temp file *next to the destination* (same directory, therefore the
+    same filesystem — ``os.replace`` across filesystems is not atomic)
+    and swapped in last-wins.  Concurrent writers of the same key carry
+    identical bytes (results are deterministic per key), so the race is
+    harmless whichever replace lands last.
+    """
+    blob = MAGIC + hashlib.sha256(payload).digest() + payload
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 class ResultCache:
     """A directory of checksummed pickled results keyed by job hash."""
 
@@ -60,6 +86,14 @@ class ResultCache:
 
     def path_for(self, job: SimJob) -> Path:
         return self.directory / f"{job.key()}.pkl"
+
+    def _scan(self, pattern: str):
+        """Every file matching ``pattern`` across the cache's layout.
+
+        The flat layout holds everything in one directory; the sharded
+        subclass overrides this to include its shard subdirectories.
+        """
+        return self.directory.glob(pattern)
 
     def has(self, job: SimJob) -> bool:
         """Whether an entry exists for ``job`` (existence only — the
@@ -105,18 +139,7 @@ class ResultCache:
     def put(self, job: SimJob, result: Any) -> None:
         path = self.path_for(job)
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = MAGIC + hashlib.sha256(payload).digest() + payload
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_entry(path, payload)
 
     def _quarantine(self, path: Path) -> None:
         """Move an unreadable entry aside so the slot can heal.
@@ -139,7 +162,7 @@ class ResultCache:
         yanked out from under its ``os.replace``.
         """
         cutoff = time.time() - STALE_TMP_SECONDS
-        for tmp in self.directory.glob("*.tmp"):
+        for tmp in self._scan("*.tmp"):
             try:
                 if tmp.stat().st_mtime < cutoff:
                     tmp.unlink()
@@ -149,7 +172,7 @@ class ResultCache:
     def clear(self) -> None:
         """Drop every entry, plus orphaned temp and quarantined files."""
         for pattern in ("*.pkl", "*.tmp", "*.corrupt"):
-            for path in self.directory.glob(pattern):
+            for path in self._scan(pattern):
                 try:
                     path.unlink()
                 except OSError:
@@ -159,4 +182,4 @@ class ResultCache:
         self.quarantined = 0
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.pkl"))
+        return sum(1 for _ in self._scan("*.pkl"))

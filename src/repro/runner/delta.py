@@ -1,0 +1,92 @@
+"""Delta sweeps: execute only what changed between two specs.
+
+Iterating on a study usually edits a spec — adds an axis point, flips
+an override, swaps a workload — and re-running the whole matrix to pick
+up a small edit wastes exactly the work the result cache was built to
+avoid.  The cache already makes *unchanged* jobs cheap on re-run; a
+delta sweep makes the intent explicit and auditable: diff the expanded
+job matrices of the new and old specs **by content hash**
+(:meth:`~repro.runner.job.SimJob.key`), execute precisely the jobs
+whose keys the old spec never produced, and report what was skipped
+and what disappeared.
+
+The identity is the cache key itself, so the diff is exact by
+construction: any edit that would change a job's cached identity —
+config override, workload name, access count, schema bump — lands the
+job in ``changed``; any edit that does not (axis relabeling, point
+reordering) keeps it in ``unchanged``.  By the same token
+``changed ∪ unchanged`` is always exactly the new spec's matrix — the
+property the randomized delta test pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.runner.job import SimJob
+from repro.runner.spec import ExperimentSpec
+
+
+@dataclass(frozen=True)
+class SpecDelta:
+    """The job-matrix diff of a new spec against an old one.
+
+    ``changed`` and ``unchanged`` partition the *new* spec's matrix (in
+    its job order): changed jobs have keys the old matrix never
+    produced — new or modified sweep points — and are what a delta
+    sweep executes.  ``removed_keys`` are old keys the new spec no
+    longer expands to; their cache entries are left in place (they
+    still serve the old spec).
+    """
+
+    changed: List[SimJob]
+    unchanged: List[SimJob]
+    removed_keys: List[str]
+
+    @property
+    def total(self) -> int:
+        """Size of the new spec's matrix."""
+        return len(self.changed) + len(self.unchanged)
+
+    def summary(self) -> str:
+        return (f"delta: {len(self.changed)} changed of {self.total} "
+                f"job(s) ({len(self.unchanged)} unchanged, "
+                f"{len(self.removed_keys)} removed)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready counters plus the changed keys (the execution set)."""
+        return {
+            "total": self.total,
+            "changed": len(self.changed),
+            "unchanged": len(self.unchanged),
+            "removed": len(self.removed_keys),
+            "changed_keys": [job.key() for job in self.changed],
+            "removed_keys": list(self.removed_keys),
+        }
+
+
+def diff_job_matrices(new_jobs: Sequence[SimJob],
+                      old_jobs: Sequence[SimJob]) -> SpecDelta:
+    """Partition ``new_jobs`` by whether ``old_jobs`` shares their key.
+
+    Order-insensitive and duplicate-tolerant on the old side; the new
+    side keeps its job order so a delta execution walks the matrix the
+    same way a full sweep would.
+    """
+    old_keys = {job.key() for job in old_jobs}
+    changed: List[SimJob] = []
+    unchanged: List[SimJob] = []
+    new_keys = set()
+    for job in new_jobs:
+        key = job.key()
+        new_keys.add(key)
+        (unchanged if key in old_keys else changed).append(job)
+    removed = sorted(old_keys - new_keys)
+    return SpecDelta(changed=changed, unchanged=unchanged,
+                     removed_keys=removed)
+
+
+def diff_specs(new: ExperimentSpec, old: ExperimentSpec) -> SpecDelta:
+    """Diff two specs' expanded matrices by job content hash."""
+    return diff_job_matrices(new.jobs(), old.jobs())

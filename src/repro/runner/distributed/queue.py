@@ -1,0 +1,543 @@
+"""The file-based work queue and lease protocol.
+
+Coordination between a sweep coordinator and any number of worker
+processes happens entirely through files in ``<SHARED>/queue/`` — no
+broker, no sockets, no locks held across operations.  Every protocol
+step reduces to one of three filesystem primitives with well-defined
+concurrent semantics on POSIX:
+
+* ``O_CREAT | O_EXCL`` — exactly one creator wins (claims, ledger
+  entries, the META document).
+* ``os.replace`` / ``os.rename`` — atomic; concurrent renames of the
+  same source file admit exactly one winner (lease steals).
+* ``os.utime`` — the heartbeat: a lease's liveness *is* its claim
+  file's mtime.
+
+Layout::
+
+    queue/
+      META.json           queue schema + the deterministic lease TTL
+      jobs/<key>.json     QueueJobRecord (job document + next attempt)
+      claims/<key>.json   LeaseRecord (owner id; heartbeat = mtime)
+      done/<key>.json     DoneRecord (terminal status per key)
+      ledger/<key>.<owner>.<attempt>   execution-start evidence
+      CLOSED              coordinator's end-of-sweep marker
+
+**Lease protocol.**  A worker claims ``key`` by ``O_EXCL``-creating the
+claim file, then heartbeats it (``os.utime``) every ``TTL/4`` while
+executing.  A claim whose mtime is older than the queue's TTL belongs
+to a worker that died or wedged; any live worker may *steal* it:
+``os.rename`` the stale claim to a private name (one winner), re-create
+the claim as its own, and bump the job record's attempt number so
+attempt-gated behaviour (retry budgets, ``succeed_on`` faults) advances
+instead of looping.  The TTL lives in META.json — on disk, once, at
+queue creation — so every participant ages leases against the same
+deterministic clock and tests can dial it down without env skew.
+
+**Exactly-once evidence.**  Executions are not merely *observed* to be
+exactly-once — each attempt ``O_EXCL``-creates a ledger file named
+``<key>.<owner>.<attempt>`` before touching the simulator, so the test
+battery can assert the global execution count per key by counting
+files.  The ledger is append-only and never read by the protocol
+itself.
+
+A key is *pending* while it has a job record and no done record.
+``DoneRecord`` is terminal per (key, incarnation): the coordinator may
+*reenqueue* a key (delete its done record, bump the attempt) when the
+published result fails checksum verification — the torn-write recovery
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+#: Bump when the on-disk queue layout or record schemas change
+#: incompatibly (job/done record shape, directory names, META keys).
+QUEUE_SCHEMA_VERSION = 1
+
+#: Bump when the lease/claim record shape or the steal protocol
+#: changes incompatibly.
+LEASE_SCHEMA_VERSION = 1
+
+#: Heartbeats older than this many seconds mark a lease stale.  Chosen
+#: to comfortably exceed any heartbeat-interval jitter (TTL/4 cadence)
+#: while keeping dead-worker recovery latency tolerable.
+DEFAULT_LEASE_TTL = 30.0
+
+_META = "META.json"
+_CLOSED = "CLOSED"
+
+
+def _write_json(path: Path, doc: Dict[str, Any]) -> None:
+    """Atomically publish ``doc`` at ``path`` (temp + ``os.replace``)."""
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(doc, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """``path``'s JSON document, or None if missing or torn.
+
+    A torn read (a writer between creates) is indistinguishable from a
+    transient race here; callers treat None as "retry next scan".
+    """
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class QueueJobRecord:
+    """One published unit of work: the job document plus its next attempt.
+
+    ``attempt`` is the 1-based attempt number the *next* execution of
+    this key must use.  It starts at 1 and is bumped by lease steals
+    and coordinator reenqueues, so attempt-gated behaviour advances
+    monotonically across worker incarnations.
+    """
+
+    key: str
+    attempt: int
+    job: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"queue_schema": QUEUE_SCHEMA_VERSION,
+                "key": self.key,
+                "attempt": self.attempt,
+                "job": self.job}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueueJobRecord":
+        unknown = sorted(set(data) - {"queue_schema", "key", "attempt", "job"})
+        if unknown:
+            raise ValueError(f"unknown job-record key(s) {unknown}")
+        if data.get("queue_schema") != QUEUE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported queue_schema {data.get('queue_schema')!r} "
+                f"(this build reads {QUEUE_SCHEMA_VERSION})")
+        return cls(key=str(data["key"]), attempt=int(data["attempt"]),
+                   job=dict(data["job"]))
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """The content of a claim file: who holds the lease, for which attempt.
+
+    Liveness is deliberately *not* in the content — it is the claim
+    file's mtime, refreshed by :meth:`WorkQueue.heartbeat`, so renewing
+    a lease never rewrites (and never tears) the record.
+    """
+
+    key: str
+    owner: str
+    attempt: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lease_schema": LEASE_SCHEMA_VERSION,
+                "key": self.key,
+                "owner": self.owner,
+                "attempt": self.attempt}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LeaseRecord":
+        unknown = sorted(set(data) - {"lease_schema", "key", "owner",
+                                      "attempt"})
+        if unknown:
+            raise ValueError(f"unknown lease key(s) {unknown}")
+        if data.get("lease_schema") != LEASE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported lease_schema {data.get('lease_schema')!r} "
+                f"(this build reads {LEASE_SCHEMA_VERSION})")
+        return cls(key=str(data["key"]), owner=str(data["owner"]),
+                   attempt=int(data["attempt"]))
+
+
+@dataclass(frozen=True)
+class DoneRecord:
+    """A key's terminal outcome for its current incarnation.
+
+    ``attempts`` is the last attempt number executed (0 for a pure
+    cache hit); ``worker`` is the owner id that finished the key.  The
+    coordinator translates these into
+    :class:`~repro.runner.status.JobOutcome` rows, reading the result
+    payload from the shared cache — results never ride through the
+    queue.
+    """
+
+    key: str
+    status: str
+    attempts: int
+    duration_s: float = 0.0
+    error: Optional[str] = None
+    worker: Optional[str] = None
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"queue_schema": QUEUE_SCHEMA_VERSION,
+                "key": self.key,
+                "status": self.status,
+                "attempts": self.attempts,
+                "duration_s": round(self.duration_s, 6),
+                "error": self.error,
+                "worker": self.worker,
+                "cached": self.cached}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DoneRecord":
+        unknown = sorted(set(data) - {"queue_schema", "key", "status",
+                                      "attempts", "duration_s", "error",
+                                      "worker", "cached"})
+        if unknown:
+            raise ValueError(f"unknown done-record key(s) {unknown}")
+        if data.get("queue_schema") != QUEUE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported queue_schema {data.get('queue_schema')!r} "
+                f"(this build reads {QUEUE_SCHEMA_VERSION})")
+        return cls(key=str(data["key"]), status=str(data["status"]),
+                   attempts=int(data["attempts"]),
+                   duration_s=float(data.get("duration_s", 0.0)),
+                   error=data.get("error"),
+                   worker=data.get("worker"),
+                   cached=bool(data.get("cached", False)))
+
+
+class WorkQueue:
+    """One shared sweep queue rooted at ``<SHARED>/queue``.
+
+    Constructing the object *joins* the queue: if META.json already
+    exists its TTL wins (the on-disk value is the single source of
+    truth all participants age leases against); otherwise the queue is
+    created with ``lease_ttl`` (or :data:`DEFAULT_LEASE_TTL`).  Two
+    processes racing to create settle via ``O_EXCL`` — the loser
+    re-reads the winner's META.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 lease_ttl: Optional[float] = None) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.done_dir = self.root / "done"
+        self.ledger_dir = self.root / "ledger"
+        for directory in (self.jobs_dir, self.claims_dir, self.done_dir,
+                          self.ledger_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.lease_ttl = self._init_meta(lease_ttl)
+
+    def _init_meta(self, lease_ttl: Optional[float]) -> float:
+        meta_path = self.root / _META
+        existing = _read_json(meta_path)
+        if existing is not None:
+            if existing.get("queue_schema") != QUEUE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.root} speaks queue_schema "
+                    f"{existing.get('queue_schema')!r} (this build reads "
+                    f"{QUEUE_SCHEMA_VERSION})")
+            return float(existing["lease_ttl"])
+        ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
+        if ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        doc = {"queue_schema": QUEUE_SCHEMA_VERSION,
+               "lease_schema": LEASE_SCHEMA_VERSION,
+               "lease_ttl": ttl}
+        try:
+            fd = os.open(meta_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            # Lost the creation race: the winner's TTL governs.
+            winner = _read_json(meta_path)
+            if winner is None:
+                raise RuntimeError(f"unreadable queue META at {meta_path}")
+            return float(winner["lease_ttl"])
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
+        return ttl
+
+    # ------------------------------------------------------------------ #
+    # Publishing and scanning
+    # ------------------------------------------------------------------ #
+
+    def publish(self, record: QueueJobRecord) -> bool:
+        """Make ``record``'s key available for claiming (first-wins).
+
+        Returns False without writing when the key is already published
+        or already done — so a resumed coordinator can re-publish its
+        whole matrix idempotently without clobbering attempt counters
+        bumped by steals in the meantime.
+        """
+        path = self.jobs_dir / f"{record.key}.json"
+        if path.exists() or self.done_record(record.key) is not None:
+            return False
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record.to_dict(), sort_keys=True) + "\n",
+                       encoding="utf-8")
+        try:
+            # Hard-link publication: full-content O_EXCL.  Unlike
+            # replace, a racing publisher can never clobber a record
+            # whose attempt was already bumped.
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def job_record(self, key: str) -> Optional[QueueJobRecord]:
+        doc = _read_json(self.jobs_dir / f"{key}.json")
+        if doc is None:
+            return None
+        return QueueJobRecord.from_dict(doc)
+
+    def pending_keys(self) -> List[str]:
+        """Published keys with no terminal record yet, sorted.
+
+        Sorted so every participant walks the matrix in the same order;
+        claim contention is then diffused by each worker rotating the
+        list by its owner-id hash (see the worker loop) rather than by
+        nondeterministic scan order.
+        """
+        done = {path.stem for path in self.done_dir.glob("*.json")}
+        return sorted(path.stem for path in self.jobs_dir.glob("*.json")
+                      if path.stem not in done)
+
+    # ------------------------------------------------------------------ #
+    # Leases
+    # ------------------------------------------------------------------ #
+
+    def _claim_path(self, key: str) -> Path:
+        return self.claims_dir / f"{key}.json"
+
+    def try_claim(self, key: str, owner: str) -> Optional[QueueJobRecord]:
+        """Attempt to lease ``key`` for ``owner``.
+
+        Returns the job record to execute (attempt already reflecting
+        any steal bump) on success, None when the key is done, unknown,
+        or freshly claimed by someone else.  A stale claim — heartbeat
+        mtime older than the queue TTL — is stolen en route.
+        """
+        if self.done_record(key) is not None:
+            return None
+        record = self.job_record(key)
+        if record is None:
+            return None
+        claim = self._claim_path(key)
+        lease = LeaseRecord(key=key, owner=owner, attempt=record.attempt)
+        try:
+            fd = os.open(claim, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return self._try_steal(key, owner, claim)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(lease.to_dict(), sort_keys=True) + "\n")
+        return record
+
+    def _try_steal(self, key: str, owner: str,
+                   claim: Path) -> Optional[QueueJobRecord]:
+        """Reclaim ``key`` if its existing lease has gone stale.
+
+        The steal is a two-step dance built on single-winner renames:
+
+        1. ``os.rename`` the stale claim to a stealer-private name.
+           Exactly one concurrent stealer wins; the rest see the source
+           vanish and back off.
+        2. Bump the job record's attempt (the dead incarnation *was*
+           charged its attempt — it may have half-executed), then
+           ``O_EXCL``-create a fresh claim as our own.  If a third
+           worker slipped a new claim in between, back off — the key
+           has a live owner either way.
+        """
+        try:
+            age = time.time() - claim.stat().st_mtime
+        except OSError:
+            return None  # released or stolen mid-look
+        if age <= self.lease_ttl:
+            return None
+        stolen = self.claims_dir / f"{key}.steal.{owner}.{os.getpid()}"
+        try:
+            os.rename(claim, stolen)
+        except OSError:
+            return None  # another stealer won, or the owner released
+        try:
+            os.unlink(stolen)
+        except OSError:
+            pass
+        record = self.job_record(key)
+        if record is None or self.done_record(key) is not None:
+            return None
+        bumped = QueueJobRecord(key=key, attempt=record.attempt + 1,
+                                job=record.job)
+        _write_json(self.jobs_dir / f"{key}.json", bumped.to_dict())
+        lease = LeaseRecord(key=key, owner=owner, attempt=bumped.attempt)
+        try:
+            fd = os.open(claim, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(lease.to_dict(), sort_keys=True) + "\n")
+        return bumped
+
+    def lease_record(self, key: str) -> Optional[LeaseRecord]:
+        doc = _read_json(self._claim_path(key))
+        if doc is None:
+            return None
+        return LeaseRecord.from_dict(doc)
+
+    def owns(self, key: str, owner: str) -> bool:
+        lease = self.lease_record(key)
+        return lease is not None and lease.owner == owner
+
+    def heartbeat(self, key: str, owner: str) -> bool:
+        """Refresh ``owner``'s lease on ``key``; False means it was lost.
+
+        A False return tells a slow worker its lease went stale and was
+        stolen — its execution may proceed (results are deterministic
+        per key, so a duplicate publish is byte-identical and harmless)
+        but it no longer speaks for the key.
+        """
+        if not self.owns(key, owner):
+            return False
+        try:
+            os.utime(self._claim_path(key))
+        except OSError:
+            return False
+        return True
+
+    def release(self, key: str, owner: str) -> None:
+        """Drop ``owner``'s lease on ``key`` (no-op if already lost)."""
+        if self.owns(key, owner):
+            try:
+                os.unlink(self._claim_path(key))
+            except OSError:
+                pass
+
+    def active_leases(self) -> List[LeaseRecord]:
+        leases = []
+        for path in sorted(self.claims_dir.glob("*.json")):
+            doc = _read_json(path)
+            if doc is not None:
+                leases.append(LeaseRecord.from_dict(doc))
+        return leases
+
+    def stale_lease_count(self) -> int:
+        cutoff = time.time() - self.lease_ttl
+        count = 0
+        for path in self.claims_dir.glob("*.json"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    count += 1
+            except OSError:
+                pass
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Execution ledger and completion
+    # ------------------------------------------------------------------ #
+
+    def record_execution(self, key: str, owner: str, attempt: int) -> None:
+        """Drop exactly-once evidence *before* an attempt executes.
+
+        One ``O_EXCL`` file per (key, owner, attempt): in a healthy run
+        each key accrues exactly one ledger entry; a steal-and-re-run
+        leaves exactly two (the dead incarnation's and the rescuer's) —
+        the concurrency battery counts these files.
+        """
+        path = self.ledger_dir / f"{key}.{owner}.{attempt}"
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            os.close(fd)
+        except FileExistsError:
+            pass  # an exact re-run of a lost incarnation; evidence stands
+
+    def ledger_entries(self, key: Optional[str] = None) -> List[str]:
+        """Ledger file names, optionally restricted to one key."""
+        pattern = f"{key}.*" if key is not None else "*"
+        return sorted(path.name for path in self.ledger_dir.glob(pattern))
+
+    def complete(self, record: DoneRecord, owner: Optional[str] = None) -> None:
+        """Publish ``record`` as ``key``'s terminal outcome and release.
+
+        Last-wins by design: after a steal, the dead and live
+        incarnations publish equivalent outcomes for the same bytes.
+        """
+        _write_json(self.done_dir / f"{record.key}.json", record.to_dict())
+        if owner is not None:
+            self.release(record.key, owner)
+
+    def done_record(self, key: str) -> Optional[DoneRecord]:
+        doc = _read_json(self.done_dir / f"{key}.json")
+        if doc is None:
+            return None
+        return DoneRecord.from_dict(doc)
+
+    def done_records(self) -> Dict[str, DoneRecord]:
+        records = {}
+        for path in self.done_dir.glob("*.json"):
+            doc = _read_json(path)
+            if doc is not None:
+                records[path.stem] = DoneRecord.from_dict(doc)
+        return records
+
+    def reenqueue(self, key: str, attempt: int) -> None:
+        """Return a completed key to the pending set at ``attempt``.
+
+        The coordinator's recovery path for results that failed cache
+        verification (torn write): the done record is retracted and the
+        attempt counter advanced so the re-run is a *new* attempt.
+        """
+        record = self.job_record(key)
+        if record is None:
+            raise ValueError(f"cannot reenqueue unknown key {key}")
+        _write_json(self.jobs_dir / f"{key}.json",
+                    QueueJobRecord(key=key, attempt=attempt,
+                                   job=record.job).to_dict())
+        try:
+            os.unlink(self.done_dir / f"{key}.json")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle and stats
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Mark the sweep over: idle workers drain out instead of polling."""
+        (self.root / _CLOSED).touch()
+
+    def is_closed(self) -> bool:
+        return (self.root / _CLOSED).exists()
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue counters for status/stats surfaces."""
+        done = self.done_records()
+        return {
+            "queue_schema": QUEUE_SCHEMA_VERSION,
+            "lease_ttl": self.lease_ttl,
+            "published": sum(1 for _ in self.jobs_dir.glob("*.json")),
+            "pending": len(self.pending_keys()),
+            "active_leases": len(self.active_leases()),
+            "stale_leases": self.stale_lease_count(),
+            "done": len(done),
+            "failed": sum(1 for r in done.values() if r.status != "ok"),
+            "ledger_entries": len(self.ledger_entries()),
+            "closed": self.is_closed(),
+        }
+
+    @classmethod
+    def stats_for(cls, root: Union[str, Path]) -> Optional[Dict[str, Any]]:
+        """Counters for the queue at ``root``, or None when absent.
+
+        The read-only entry point for stats surfaces (the service
+        daemon): never creates the queue as a side effect.
+        """
+        root = Path(root)
+        if not (root / _META).exists():
+            return None
+        return cls(root).stats()

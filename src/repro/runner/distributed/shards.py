@@ -1,0 +1,189 @@
+"""The sharded, multi-writer result cache layout.
+
+A flat :class:`~repro.runner.cache.ResultCache` directory works for one
+machine's sweeps, but a shared store that may hold millions of entries
+written by dozens of concurrent workers wants two more properties:
+
+* **Fan-out** — entries land in 256 shard subdirectories named by the
+  first two hex characters of the job key (keys are sha256 digests, so
+  the fan-out is uniform by construction).  Directory scans, ``readdir``
+  latency and per-directory inode pressure all stay bounded as the
+  matrix grows, and concurrent writers of *different* keys almost never
+  touch the same directory inode.
+* **An explicit layout version** — the ``CACHE_LAYOUT`` marker file
+  records which layout the directory speaks.  A flat (layout-1)
+  directory opened through :class:`ShardedResultCache` is migrated **in
+  place, once**: every ``<key>.pkl`` in the root is ``os.replace``-moved
+  into its shard (atomic, so a concurrent reader sees the entry at
+  exactly one of the two paths), then the marker is published.  Entry
+  *bytes* are untouched by migration — the checksummed blob format is
+  shared with the flat cache — so legacy entries keep hitting, byte-
+  identically, afterwards.
+
+Writers publish exactly like the flat cache: stage in a temp file next
+to the destination, checksum embedded, ``os.replace`` last-wins.
+Readers verify the checksum and quarantine torn or bit-flipped entries
+to ``*.corrupt`` (the slot then re-executes and heals) — both inherited
+from :class:`~repro.runner.cache.ResultCache`, which remains the single
+source of truth for the entry format.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.job import SimJob
+
+#: Bump when the on-disk *directory layout* (not the entry format)
+#: changes incompatibly.  Layout 1 is the implicit flat directory;
+#: layout 2 is the 256-way key-prefix sharding introduced here.
+CACHE_LAYOUT_VERSION = 2
+
+#: Marker file naming the layout a cache directory speaks.  Absence
+#: means layout 1 (a flat, pre-sharding directory — or an empty one).
+LAYOUT_MARKER = "CACHE_LAYOUT"
+
+#: Hex pathname pattern matching exactly the 256 shard directories.
+_SHARD_GLOB = "[0-9a-f][0-9a-f]"
+
+
+def shard_of(key: str) -> str:
+    """The shard directory name for job ``key`` (its first hex byte)."""
+    return key[:2]
+
+
+class ShardedResultCache(ResultCache):
+    """A 256-way sharded :class:`ResultCache` with one-shot migration.
+
+    Safe for many concurrent writer processes: writes are atomic
+    last-wins per entry, migration races are settled by ``os.replace``
+    semantics, and a flat entry dropped into the root *after* migration
+    (by a straggler still running the old layout) is found by the
+    read-side fallback and moved into its shard on first touch.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        # Parent init creates the directory and sweeps stale temps
+        # (``_scan`` already covers existing shard dirs); migration runs
+        # after the directory exists but before first use.
+        super().__init__(directory)
+        self._migrate_flat_layout()
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, job: SimJob) -> Path:
+        key = job.key()
+        return self.directory / shard_of(key) / f"{key}.pkl"
+
+    def _flat_path_for(self, job: SimJob) -> Path:
+        """Where the legacy flat layout would keep ``job``'s entry."""
+        return self.directory / f"{job.key()}.pkl"
+
+    def _scan(self, pattern: str) -> Iterator[Path]:
+        return itertools.chain(
+            self.directory.glob(pattern),
+            self.directory.glob(f"{_SHARD_GLOB}/{pattern}"))
+
+    def shard_count(self) -> int:
+        """How many of the 256 shards currently hold at least one entry."""
+        return sum(1 for shard in self.directory.glob(_SHARD_GLOB)
+                   if shard.is_dir() and any(shard.glob("*.pkl")))
+
+    def layout_info(self) -> Dict[str, Any]:
+        """Layout counters for status/stats surfaces."""
+        return {"layout": CACHE_LAYOUT_VERSION,
+                "shards": self.shard_count()}
+
+    # ------------------------------------------------------------------ #
+    # Migration
+    # ------------------------------------------------------------------ #
+
+    def _migrate_flat_layout(self) -> None:
+        """Move legacy root-level entries into their shards, once.
+
+        Re-entrant and multi-process safe: each entry moves with one
+        atomic ``os.replace`` (two concurrent migrators racing on the
+        same entry both succeed — the bytes are identical because the
+        source is the same file), and losing a source file mid-walk just
+        means another migrator got there first.  The marker is published
+        last, so a migrator crash re-runs the (idempotent) walk.
+        """
+        marker = self.directory / LAYOUT_MARKER
+        if marker.exists():
+            recorded = self._read_marker(marker)
+            if recorded != CACHE_LAYOUT_VERSION:
+                raise ValueError(
+                    f"{self.directory} is a layout-{recorded} cache; this "
+                    f"build speaks layout {CACHE_LAYOUT_VERSION} — migrate "
+                    f"or point at a fresh directory")
+        for entry in list(self.directory.glob("*.pkl")):
+            self._adopt_flat_entry(entry)
+        if not marker.exists():
+            tmp = marker.with_name(marker.name + ".tmp")
+            tmp.write_text(
+                json.dumps({"cache_layout": CACHE_LAYOUT_VERSION,
+                            "shards": 256}, sort_keys=True) + "\n",
+                encoding="utf-8")
+            os.replace(tmp, marker)
+
+    @staticmethod
+    def _read_marker(marker: Path) -> Optional[int]:
+        try:
+            doc = json.loads(marker.read_text(encoding="utf-8"))
+            return doc.get("cache_layout")
+        except (OSError, ValueError):
+            return None
+
+    def _adopt_flat_entry(self, entry: Path) -> None:
+        """Atomically move one root-level ``<key>.pkl`` into its shard."""
+        key = entry.stem
+        if len(key) < 2:
+            return  # not a job-key entry; leave it alone
+        shard = self.directory / shard_of(key)
+        shard.mkdir(exist_ok=True)
+        try:
+            os.replace(entry, shard / entry.name)
+        except OSError:
+            pass  # a concurrent migrator or writer won the race
+
+    # ------------------------------------------------------------------ #
+    # Read-side fallback for post-migration flat writes
+    # ------------------------------------------------------------------ #
+
+    def get(self, job: SimJob) -> Optional[Any]:
+        if not self.path_for(job).exists():
+            flat = self._flat_path_for(job)
+            if flat.exists():
+                # A writer on the old layout published here after the
+                # migration pass: adopt the entry, then read it through
+                # the normal checksummed path.
+                self._adopt_flat_entry(flat)
+        return super().get(job)
+
+    def has(self, job: SimJob) -> bool:
+        return (self.path_for(job).exists()
+                or self._flat_path_for(job).exists())
+
+
+def open_result_cache(directory: Union[str, Path]) -> ResultCache:
+    """Open ``directory`` under whichever layout it already speaks.
+
+    The deference rule for code that did not choose the layout (the
+    service daemon, resume previews): a directory carrying the sharded
+    :data:`LAYOUT_MARKER` opens as :class:`ShardedResultCache`; anything
+    else stays a flat :class:`~repro.runner.cache.ResultCache`.  Only
+    the distributed sweep path *upgrades* a directory (by constructing
+    :class:`ShardedResultCache` directly), because upgrading is a
+    one-way door for writers still running the old layout.
+    """
+    directory = Path(directory)
+    if (directory / LAYOUT_MARKER).exists():
+        return ShardedResultCache(directory)
+    return ResultCache(directory)

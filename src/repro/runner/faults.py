@@ -18,6 +18,13 @@ hashes, so plans survive pickling, process boundaries and re-runs) to
   — the crashed-mid-write scenario the cache checksums exist for.  In a
   process pool this breaks the pool (``BrokenProcessPool``), which the
   backend must survive by replacing it.
+* ``torn-write`` / ``lease-steal`` — distributed-protocol faults,
+  interpreted by :mod:`repro.runner.distributed.worker` rather than
+  here: a torn-write worker publishes a checksum-failing cache entry
+  and reports success (the coordinator must quarantine and re-run);
+  a lease-steal worker abandons its claim without executing (the lease
+  must age out and be stolen).  Both are gated by ``succeed_on`` so
+  recovery converges; inside a plain attempt they are no-ops.
 
 Plans activate through the ``REPRO_FAULTS`` environment variable — an
 inline JSON document or a path to one — because worker processes are
@@ -43,7 +50,11 @@ from repro.runner.job import SimJob
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: The closed set of injectable behaviours.
-FAULT_KINDS = ("raise", "flaky", "hang", "die")
+FAULT_KINDS = ("raise", "flaky", "hang", "die", "torn-write", "lease-steal")
+
+#: The subset interpreted by the distributed worker loop instead of
+#: :func:`apply_faults` (which treats them as no-ops).
+PROTOCOL_FAULT_KINDS = ("torn-write", "lease-steal")
 
 
 class FaultError(RuntimeError):
@@ -71,7 +82,7 @@ class FaultSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.kind}
-        if self.kind == "flaky":
+        if self.kind == "flaky" or self.kind in PROTOCOL_FAULT_KINDS:
             out["succeed_on"] = self.succeed_on
         if self.kind == "hang":
             out["hang_s"] = self.hang_s
@@ -189,6 +200,11 @@ def apply_faults(job: SimJob, attempt: int) -> None:
         return
     spec = plan.match(job.key())
     if spec is None:
+        return
+    if spec.kind in PROTOCOL_FAULT_KINDS:
+        # Distributed-protocol faults act between the queue and the
+        # cache, not inside an attempt; the worker loop interprets
+        # them before it ever calls run_job_attempt.
         return
     if spec.kind == "raise":
         raise FaultError(spec.message)

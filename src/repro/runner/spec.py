@@ -197,6 +197,17 @@ class ExperimentSpec:
         """
         return [job for job in self.jobs() if not cache.has(job)]
 
+    def delta(self, since: "ExperimentSpec") -> Any:
+        """Diff this spec's matrix against ``since``'s by content hash.
+
+        Returns a :class:`~repro.runner.delta.SpecDelta` whose
+        ``changed`` jobs are exactly what ``repro sweep --spec A
+        --since-spec B`` executes.  Lazy import: :mod:`~repro.runner.
+        delta` imports this module for its type hints.
+        """
+        from repro.runner.delta import diff_specs
+        return diff_specs(self, since)
+
     def group(self, results: Sequence[Any]) -> Dict[str, List[Any]]:
         """Re-shape flat job results into ``{label: [per-workload]}``.
 

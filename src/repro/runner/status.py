@@ -74,7 +74,9 @@ class JobOutcome:
     sets ``cached``); ``retried`` derives from the attempt count.  The
     ``result`` payload rides along for the runner but is deliberately
     excluded from :meth:`to_dict` — outcome documents describe
-    execution, not simulation output.
+    execution, not simulation output.  ``worker`` names the owner id
+    that finished the job under the distributed backend; the local
+    backends leave it None.
     """
 
     index: int
@@ -85,6 +87,7 @@ class JobOutcome:
     error: Optional[str] = None
     cached: bool = False
     result: Any = None
+    worker: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in OUTCOME_STATUSES:
@@ -102,7 +105,7 @@ class JobOutcome:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (no result payload; see class docstring)."""
-        return {
+        doc = {
             "index": self.index,
             "key": self.key,
             "status": self.status,
@@ -112,6 +115,12 @@ class JobOutcome:
             "duration_s": round(self.duration_s, 6),
             "error": self.error,
         }
+        if self.worker is not None:
+            # Only distributed outcomes carry an executor identity;
+            # omitting the key otherwise keeps existing outcome
+            # documents byte-stable.
+            doc["worker"] = self.worker
+        return doc
 
 
 @dataclass
